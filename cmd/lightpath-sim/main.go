@@ -1,0 +1,317 @@
+// Command lightpath-sim regenerates every table and figure of "A case
+// for server-scale photonic connectivity" (HotNets '24) from the
+// simulation, one subcommand per artifact.
+//
+// Usage:
+//
+//	lightpath-sim <command> [flags]
+//
+// Commands:
+//
+//	info      §3 headline prototype numbers (E12)
+//	fig3a     MZI reconfiguration time response + fitted latency (E1)
+//	fig3b     reticle stitch loss distribution + Gaussian fit (E2)
+//	fig4      waveguide density and crossing budget (E3)
+//	table1    Slice-1 ReduceScatter alpha-beta costs (E4)
+//	table2    Slice-3 two-stage bucket costs (E5)
+//	fig5      bandwidth utilization of sub-rack slices (E6)
+//	show      ASCII diagrams of the paper's rack scenarios
+//	scale     Figure 5a: cubes spliced into larger tori via OCSes
+//	fig6a     single-rack electrical replacement infeasibility (E7)
+//	fig6b     cross-rack electrical replacement infeasibility (E8)
+//	fig7      optical repair of broken rings (E9)
+//	repair    repairability sweep over random racks and failures
+//	blast     blast radius sweep, electrical vs optical policy (E10)
+//	sweep     AllReduce completion time vs buffer size (E11)
+//	alltoall  AllToAll: per-step circuit reprogramming vs DOR routing (§5)
+//	scheduler online reconfiguration policies vs offline optimal (§1/§5)
+//	moe       dynamic Mixture-of-Experts circuit workload (§5)
+//	hostnet   packetized vs circuit-switched host stacks (§1/§5)
+//	protocols eager vs rendezvous on warm circuits
+//	moesweep  MoE reconfiguration overhead vs payload size (§5)
+//	tenants   random multi-tenant rack sweep generalizing Fig 5c
+//	ber       receiver BER waterfall curve
+//	ablate    the three design ablations (allocation, fiber, simultaneous)
+//	all       run everything above in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lightpath/internal/alloc"
+	"lightpath/internal/core"
+	"lightpath/internal/experiments"
+	"lightpath/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lightpath-sim:", err)
+		os.Exit(1)
+	}
+}
+
+type printer interface{ Write(p []byte) (int, error) }
+
+func run(args []string, out printer) error {
+	fs := flag.NewFlagSet("lightpath-sim", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 2024, "deterministic seed for all stochastic components")
+	elements := fs.Int("n", experiments.DefaultTableBuffer, "collective buffer length in float32 elements")
+	samples := fs.Int("samples", 10000, "stitch-loss samples for fig3b")
+	csvDir := fs.String("csv", "", "directory to also write each experiment's data series as <command>.csv")
+	if len(args) == 0 {
+		fs.Usage()
+		return fmt.Errorf("missing command (try: all)")
+	}
+	cmd := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	commands := map[string]func() error{
+		"info": func() error { return emit(out, experiments.Info(), nil) },
+		"fig3a": func() error {
+			r, err := experiments.Fig3a(*seed)
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "fig3a", r)
+		},
+		"fig3b": func() error {
+			r, err := experiments.Fig3b(*seed, *samples)
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "fig3b", r)
+		},
+		"fig4": func() error { return emit(out, experiments.Fig4(), nil) },
+		"table1": func() error {
+			r, err := experiments.Table1(*elements)
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "table1", r)
+		},
+		"table2": func() error {
+			r, err := experiments.Table2(*elements)
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "table2", r)
+		},
+		"fig5": func() error {
+			r, err := experiments.Fig5(experiments.TableBufferBytes(*elements), *seed)
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "fig5", r)
+		},
+		"fig6a": func() error {
+			r, err := experiments.Fig6a()
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "fig6a", r)
+		},
+		"fig6b": func() error {
+			r, err := experiments.Fig6b()
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "fig6b", r)
+		},
+		"fig7": func() error {
+			r, err := experiments.Fig7(*seed)
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "fig7", r)
+		},
+		"blast": func() error { return emit(out, experiments.Blast(), nil) },
+		"sweep": func() error {
+			r, err := experiments.Sweep(experiments.DefaultSweepBuffers(), *seed)
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "sweep", r)
+		},
+		"moe":    func() error { return runMoE(out, *seed) },
+		"ablate": func() error { return runAblations(out, *seed) },
+		"hostnet": func() error {
+			r, err := experiments.Hostnet(*seed, 400)
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "hostnet", r)
+		},
+		"tenants": func() error {
+			r, err := experiments.TenantSweep(*seed, 50)
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "tenants", r)
+		},
+		"ber": func() error {
+			r := experiments.Waterfall()
+			if err := emit(out, r, nil); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "ber", r)
+		},
+		"alltoall": func() error {
+			r, err := experiments.AllToAll(experiments.DefaultAllToAllBuffers())
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "alltoall", r)
+		},
+		"repair": func() error {
+			r, err := experiments.Repairability(*seed, 60)
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "repair", r)
+		},
+		"show": func() error { return runShow(out) },
+		"protocols": func() error {
+			r := experiments.Protocols()
+			if err := emit(out, r, nil); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "protocols", r)
+		},
+		"moesweep": func() error {
+			r, err := experiments.MoE(*seed)
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "moesweep", r)
+		},
+		"scale": func() error {
+			r, err := experiments.Scale(experiments.TableBufferBytes(*elements), *seed)
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "scale", r)
+		},
+		"scheduler": func() error {
+			r, err := experiments.Scheduler(*seed, 24)
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "scheduler", r)
+		},
+	}
+
+	if cmd == "all" {
+		order := []string{"info", "fig3a", "fig3b", "fig4", "ber", "table1", "table2",
+			"show", "fig5", "scale", "tenants", "fig6a", "fig6b", "fig7", "repair",
+			"blast", "sweep", "alltoall", "scheduler", "moe", "moesweep", "hostnet",
+			"protocols", "ablate"}
+		for _, name := range order {
+			if err := commands[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	}
+	fn, ok := commands[cmd]
+	if !ok {
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return fn()
+}
+
+// emit prints a result's String rendering unless err is set, and —
+// when a CSV directory is configured and the result carries a data
+// series — writes <dir>/<name>.csv alongside.
+func emit(out printer, r fmt.Stringer, err error) error {
+	if err != nil {
+		return err
+	}
+	if _, werr := fmt.Fprint(out, r.String()); werr != nil {
+		return werr
+	}
+	return nil
+}
+
+// emitCSV writes the result's series when requested.
+func emitCSV(csvDir, name string, r fmt.Stringer) error {
+	if csvDir == "" {
+		return nil
+	}
+	t, ok := r.(experiments.Tabular)
+	if !ok {
+		return nil
+	}
+	return experiments.WriteCSV(filepath.Join(csvDir, name+".csv"), t)
+}
+
+// runShow draws the paper's scenario racks.
+func runShow(out printer) error {
+	if _, err := fmt.Fprintln(out, "Figure 5b rack (four tenants, fully allocated):"); err != nil {
+		return err
+	}
+	tor, a, err := alloc.Fig5b()
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprint(out, viz.RackLayers(tor, a, nil)); err != nil {
+		return err
+	}
+	sc, err := alloc.Fig6a()
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(out, "\nFigure 6a rack (failed chip X, spares .):"); err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(out, viz.RackLayers(sc.Torus, sc.Alloc, map[int]bool{sc.FailedChip: true}))
+	return err
+}
+
+func runMoE(out printer, seed uint64) error {
+	fabric, err := core.New(core.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	res, err := fabric.RunMoE(core.DefaultMoEConfig())
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out,
+		"Mixture-of-Experts dynamic circuits (§5): %d batches\n"+
+			"  circuits: %d new, %d reused, %d evicted\n"+
+			"  time: %v reconfiguration + %v transfer = %v total\n"+
+			"  reconfiguration overhead: %.2f%%\n",
+		res.Batches, res.NewCircuits, res.ReusedCircuits, res.Evictions,
+		res.ReconfigTime, res.TransferTime, res.Makespan, res.OverheadFraction()*100)
+	return err
+}
+
+func runAblations(out printer, seed uint64) error {
+	a, err := experiments.AblationAllocation(seed, 8)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprint(out, a.String()); err != nil {
+		return err
+	}
+	f, err := experiments.AblationFiber(seed)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprint(out, f.String()); err != nil {
+		return err
+	}
+	s, err := experiments.AblationSimultaneous(3 << 12)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(out, s.String())
+	return err
+}

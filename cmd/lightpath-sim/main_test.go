@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunEachCommand(t *testing.T) {
+	cases := map[string]string{
+		"info":      "tiles per wafer",
+		"fig3a":     "reconfiguration latency",
+		"fig3b":     "reticle stitch loss",
+		"fig4":      "waveguide density",
+		"table1":    "beta ratio (elec/optics) = 3.00x",
+		"table2":    "1.5x",
+		"fig5":      "worst electrical bandwidth drop",
+		"fig6a":     "IMPOSSIBLE",
+		"fig6b":     "IMPOSSIBLE",
+		"fig7":      "disjoint",
+		"blast":     "16x",
+		"moe":       "Mixture-of-Experts",
+		"hostnet":   "crossover",
+		"tenants":   "rescued by optics",
+		"ber":       "waterfall",
+		"alltoall":  "reprogramming every step",
+		"repair":    "Repairability sweep",
+		"scheduler": "offline optimal",
+		"show":      "Figure 6a rack",
+		"scale":     "larger tori",
+		"protocols": "rendezvous",
+		"moesweep":  "bytes/expert",
+		"ablate":    "decentralized",
+	}
+	for cmd, want := range cases {
+		var buf bytes.Buffer
+		args := []string{cmd}
+		if cmd == "fig3b" {
+			args = append(args, "-samples", "2000")
+		}
+		if err := run(args, &buf); err != nil {
+			t.Errorf("%s: %v", cmd, err)
+			continue
+		}
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("%s output missing %q:\n%s", cmd, want, buf.String())
+		}
+	}
+}
+
+func TestRunSweepFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"table1", "-n", "1024"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "4.10KB") {
+		t.Fatalf("custom -n not honored:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("missing command accepted")
+	}
+	if err := run([]string{"bogus"}, &buf); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run([]string{"info", "-badflag"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"all", "-samples", "2000"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, marker := range []string{"Figure 3a", "Table 1", "Figure 7", "Ablation"} {
+		if !strings.Contains(buf.String(), marker) {
+			t.Errorf("all output missing %q", marker)
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	for _, cmd := range []string{"fig3a", "sweep", "ber", "scheduler"} {
+		if err := run([]string{cmd, "-csv", dir}, &buf); err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, cmd+".csv"))
+		if err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("%s: csv has %d lines", cmd, len(lines))
+		}
+	}
+	// Non-tabular commands do not create files.
+	if err := run([]string{"blast", "-csv", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "blast.csv")); err == nil {
+		t.Fatal("non-tabular command wrote a csv")
+	}
+}

@@ -1,0 +1,72 @@
+// Lifecycle: a day in the life of a multi-tenant photonic rack — the
+// paper's two opportunities (§4.1 bandwidth redirection, §4.2 failure
+// blast radius) composed into one story. Tenants train; a chip dies;
+// the job keeps running.
+//
+// Run with:
+//
+//	go run ./examples/lifecycle
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lightpath"
+	"lightpath/internal/alloc"
+	"lightpath/internal/torus"
+)
+
+func main() {
+	fabric, err := lightpath.New(lightpath.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Morning: the Figure 6a rack is leased out — Slice-4 (32 chips),
+	// Slice-3 (16), Slice-1 (8) — with 8 spare chips.
+	sc, err := alloc.Fig6a()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== morning: tenants running ==")
+	stepBuffer := 1.3 * lightpath.GB
+	var slice3Step lightpath.Seconds
+	for si, s := range sc.Alloc.Slices() {
+		plan, err := fabric.PlanAllReduce(sc.Alloc, si, stepBuffer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s %2d chips: per-step AllReduce %v photonic (%.1fx vs electrical)\n",
+			s.Name, s.Size(), plan.OpticalTime, plan.Speedup())
+		if s == sc.Victim {
+			slice3Step = plan.OpticalTime
+		}
+	}
+
+	// Afternoon: a TPU dies inside Slice-3.
+	fmt.Printf("\n== afternoon: chip %v in %s fails ==\n",
+		sc.Torus.Coord(sc.FailedChip), sc.Victim.Name)
+	cmp, err := fabric.CompareRepair([]*torus.Allocation{sc.Alloc}, 0, sc.FailedChip, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  electrical in-rack replacement: impossible without congestion (best attempt: %d units)\n",
+		cmp.ElectricalPlan.Congestion)
+	fmt.Printf("  photonic repair: %d circuits to spare chip %d, rings resume in %v\n",
+		len(cmp.OpticalPlan.Circuits), cmp.OpticalPlan.Replacement, cmp.OpticalReadyIn)
+
+	// What each policy costs the tenant. Under the TPUv4 electrical
+	// policy the whole rack drains and the job restores from its last
+	// checkpoint elsewhere (minutes); photonically, the slice stalls
+	// for one MZI settle and goes on.
+	const checkpointRestore = 5 * 60.0 // seconds, a typical restore
+	stepsLostElectrical := checkpointRestore / float64(slice3Step)
+	fmt.Printf("\n== evening: the bill ==\n")
+	fmt.Printf("  electrical policy: drain rack (64-chip blast radius), ~%.0f s restore = ~%.0f training steps lost\n",
+		checkpointRestore, stepsLostElectrical)
+	fmt.Printf("  photonic repair:   4-chip blast radius, %v stall = ~0 steps lost\n", cmp.OpticalReadyIn)
+
+	stats := lightpath.BlastRadius()
+	fmt.Printf("  fleet-wide: every failure touches %.0fx fewer chips\n", stats.Ratio)
+}

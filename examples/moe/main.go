@@ -1,0 +1,52 @@
+// MoE: the paper's §5 challenge workload. Mixture-of-Experts
+// inference routes each batch's tokens to gate-selected expert chips,
+// so the circuit pattern changes at runtime — the case the paper says
+// needs "dynamic programming of circuits". This example runs the
+// workload under a uniform gate and under a skewed gate with one hot
+// expert, showing the reconfiguration-versus-transfer trade-off and
+// the fan-in serialization a hot expert forces.
+//
+// Run with:
+//
+//	go run ./examples/moe
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lightpath"
+)
+
+func run(name string, cfg lightpath.MoEConfig) {
+	fabric, err := lightpath.New(lightpath.Options{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fabric.RunMoE(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d batches, top-%d of %d experts, %v per expert\n",
+		name, cfg.Batches, cfg.TopK, cfg.Experts, cfg.BytesPerExpert)
+	fmt.Printf("  circuits: %d established, %d reused, %d evicted\n",
+		res.NewCircuits, res.ReusedCircuits, res.Evictions)
+	fmt.Printf("  time: %v reconfig + %v transfer = %v (overhead %.2f%%)\n\n",
+		res.ReconfigTime, res.TransferTime, res.Makespan, res.OverheadFraction()*100)
+}
+
+func main() {
+	uniform := lightpath.DefaultMoEConfig()
+	run("uniform gating", uniform)
+
+	skewed := uniform
+	skewed.Skew = 0.9
+	run("skewed gating (hot expert 0)", skewed)
+
+	small := uniform
+	small.BytesPerExpert = 64 * lightpath.KB
+	run("latency-bound batches (64KB per expert)", small)
+
+	fmt.Println("takeaway: at inference payloads the 3.7us reconfiguration is noise;")
+	fmt.Println("only tiny batches or a hot expert's fan-in serialization expose it.")
+}

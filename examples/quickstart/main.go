@@ -1,0 +1,52 @@
+// Quickstart: build a LIGHTPATH fabric hosting a TPUv4-style rack,
+// establish an optical circuit between two accelerators, and plan a
+// tenant's AllReduce on electrical versus photonic interconnects.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lightpath"
+)
+
+func main() {
+	// A fabric with the paper's defaults: a 4x4x4 accelerator torus
+	// stacked on two 32-tile photonic wafers, 16 lasers per tile at
+	// 224 Gbps each, 3.7 us MZI reconfiguration.
+	fabric, err := lightpath.New(lightpath.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fabric: %d accelerators on %d wafers\n",
+		fabric.Torus().Size(), fabric.Hardware().NumWafers())
+
+	// Establish a 4-wavelength circuit between chips 0 and 63 — they
+	// sit on different wafers, so the path crosses an attached fiber.
+	circuit, err := fabric.Circuits().Establish(lightpath.CircuitRequest{A: 0, B: 63, Width: 4}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := fabric.Hardware().Config()
+	fmt.Printf("circuit: %v\n", circuit)
+	fmt.Printf("  bandwidth: %v, optical budget: %v\n",
+		circuit.Bandwidth(cfg.WavelengthCapacity), circuit.Link)
+
+	// Lease the paper's Figure 5b tenants and plan Slice-1's
+	// AllReduce both ways.
+	_, allocation, err := lightpath.Fig5bAllocation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := fabric.PlanAllReduce(allocation, 0, 64*lightpath.MB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Slice-1 64MB AllReduce (%s):\n", plan.Algorithm)
+	fmt.Printf("  electrical torus: %v\n", plan.ElectricalTime)
+	fmt.Printf("  photonic fabric:  %v (%.1fx speedup)\n", plan.OpticalTime, plan.Speedup())
+}

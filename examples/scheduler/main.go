@@ -1,0 +1,63 @@
+// Scheduler: the paper's §1 closing challenge made concrete — "new
+// optical resource allocation algorithms will be needed to arrive at
+// the appropriate trade-off between optical reconfiguration delay and
+// end-to-end server-scale interconnect performance". This example runs
+// five policies over three traffic classes and shows why no fixed
+// strategy wins everywhere.
+//
+// Run with:
+//
+//	go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lightpath/internal/phy"
+	"lightpath/internal/rng"
+	"lightpath/internal/sched"
+	"lightpath/internal/unit"
+)
+
+func main() {
+	p := sched.Params{
+		ChipBandwidth: unit.GBps(300),
+		Reconfig:      phy.ReconfigLatency,
+		PortLimit:     16,
+	}
+	chips := make([]int, 8)
+	for i := range chips {
+		chips[i] = i
+	}
+
+	for _, kind := range []sched.WorkloadKind{sched.WorkloadPeriodic, sched.WorkloadShifting, sched.WorkloadChurning} {
+		for _, bytes := range []unit.Bytes{4 * unit.KiB, 16 * unit.MiB} {
+			phases := sched.Generate(kind, chips, 24, bytes, rng.New(7).Split(kind.String()))
+			fmt.Printf("%s traffic, %v per pair:\n", kind, bytes)
+			policies := []sched.Policy{
+				sched.EagerPolicy{},
+				sched.NewStaticPolicy(chips),
+				sched.HysteresisPolicy{P: p, Threshold: 1.0},
+				sched.NewCachingPolicy(p),
+				sched.NewHedgePolicy(p),
+			}
+			opt, err := sched.OfflineOptimal(p, phases, chips)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, policy := range policies {
+				out, err := sched.Run(p, policy, phases)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  %-14s total %-12v (%.2fx optimal, %d reconfigs)\n",
+					policy.Name(), out.Total, float64(out.Total/opt.Total), out.Reconfigs)
+			}
+			fmt.Printf("  %-14s total %-12v\n\n", "offline-opt", opt.Total)
+		}
+	}
+	fmt.Println("takeaway: tiny phases want static circuits, huge ones want eager")
+	fmt.Println("reconfiguration; caching wins when traffic repeats; the learned")
+	fmt.Println("hedge tracks whichever expert fits — the trade-off §1 predicts.")
+}

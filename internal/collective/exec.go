@@ -1,0 +1,151 @@
+package collective
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the schedule interpreter: it executes a Schedule
+// against real per-chip buffers so tests can prove that the generated
+// communication pattern computes the mathematically correct
+// ReduceScatter/AllGather/AllReduce result for arbitrary inputs — a
+// DESIGN.md invariant.
+
+// State holds each chip's buffer.
+type State map[int][]float64
+
+// NewState allocates an n-element buffer per chip, filled by fill
+// (which receives the chip ID and element index).
+func NewState(chips []int, n int, fill func(chip, i int) float64) State {
+	st := make(State, len(chips))
+	for _, c := range chips {
+		buf := make([]float64, n)
+		if fill != nil {
+			for i := range buf {
+				buf[i] = fill(c, i)
+			}
+		}
+		st[c] = buf
+	}
+	return st
+}
+
+// Clone deep-copies the state.
+func (st State) Clone() State {
+	out := make(State, len(st))
+	for c, buf := range st {
+		b := make([]float64, len(buf))
+		copy(b, buf)
+		out[c] = b
+	}
+	return out
+}
+
+// Execute applies the schedule's steps in order. Within a step, all
+// payloads are read from the pre-step state before any write is
+// applied, so concurrent transfers behave as they would on real
+// hardware where sends and receives of a step overlap in time.
+func (st State) Execute(s *Schedule) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	for si, step := range s.Steps {
+		type delivery struct {
+			to      int
+			lo      int
+			reduce  bool
+			payload []float64
+		}
+		deliveries := make([]delivery, 0, len(step.Transfers))
+		for ti, tr := range step.Transfers {
+			src, ok := st[tr.From]
+			if !ok {
+				return fmt.Errorf("collective: step %d transfer %d reads unknown chip %d", si, ti, tr.From)
+			}
+			if _, ok := st[tr.To]; !ok {
+				return fmt.Errorf("collective: step %d transfer %d writes unknown chip %d", si, ti, tr.To)
+			}
+			if tr.Range.Hi > len(src) {
+				return fmt.Errorf("collective: step %d transfer %d range %v exceeds buffer %d", si, ti, tr.Range, len(src))
+			}
+			dst := tr.DstRange()
+			if dst.Hi > len(st[tr.To]) {
+				return fmt.Errorf("collective: step %d transfer %d destination %v exceeds buffer %d", si, ti, dst, len(st[tr.To]))
+			}
+			payload := make([]float64, tr.Range.Len())
+			copy(payload, src[tr.Range.Lo:tr.Range.Hi])
+			deliveries = append(deliveries, delivery{to: tr.To, lo: dst.Lo, reduce: tr.Reduce, payload: payload})
+		}
+		for _, d := range deliveries {
+			dst := st[d.to]
+			if d.reduce {
+				for i, v := range d.payload {
+					dst[d.lo+i] += v
+				}
+			} else {
+				copy(dst[d.lo:d.lo+len(d.payload)], d.payload)
+			}
+		}
+	}
+	return nil
+}
+
+// ReduceAcross returns the element-wise sum of the chips' initial
+// buffers — the reference result of an AllReduce with summation.
+func ReduceAcross(st State, chips []int, n int) []float64 {
+	ref := make([]float64, n)
+	for _, c := range chips {
+		for i, v := range st[c] {
+			ref[i] += v
+		}
+	}
+	return ref
+}
+
+// CheckAllReduce verifies every chip's buffer equals the reference
+// within floating-point tolerance.
+func CheckAllReduce(st State, chips []int, ref []float64) error {
+	for _, c := range chips {
+		buf := st[c]
+		if len(buf) != len(ref) {
+			return fmt.Errorf("collective: chip %d buffer length %d, want %d", c, len(buf), len(ref))
+		}
+		for i, v := range buf {
+			if !approxEqual(v, ref[i]) {
+				return fmt.Errorf("collective: chip %d element %d = %v, want %v", c, i, v, ref[i])
+			}
+		}
+	}
+	return nil
+}
+
+// CheckReduceScatter verifies each chip's owned range holds the
+// reference reduction, that owned ranges are disjoint, and that they
+// jointly cover [0, n).
+func CheckReduceScatter(st State, owned map[int]Range, ref []float64) error {
+	covered := make([]int, len(ref))
+	for c, r := range owned {
+		buf := st[c]
+		for i := r.Lo; i < r.Hi; i++ {
+			if !approxEqual(buf[i], ref[i]) {
+				return fmt.Errorf("collective: chip %d owned element %d = %v, want %v", c, i, buf[i], ref[i])
+			}
+			covered[i]++
+		}
+	}
+	for i, n := range covered {
+		if n != 1 {
+			return fmt.Errorf("collective: element %d covered %d times, want exactly once", i, n)
+		}
+	}
+	return nil
+}
+
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*math.Max(scale, 1)
+}

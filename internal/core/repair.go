@@ -1,0 +1,62 @@
+package core
+
+import (
+	"lightpath/internal/failure"
+	"lightpath/internal/torus"
+	"lightpath/internal/unit"
+)
+
+// RepairComparison is the outcome of handling one chip failure both
+// ways (§4.2).
+type RepairComparison struct {
+	// ElectricalPossible reports whether a congestion-free electrical
+	// repair exists; ElectricalPlan holds either that plan or the
+	// best congested diagnostic.
+	ElectricalPossible bool
+	ElectricalPlan     *failure.ElectricalPlan
+	// OpticalPlan is the circuit-based repair (nil only on error).
+	OpticalPlan *failure.OpticalPlan
+	// OpticalReadyIn is how long after the failure the repaired rings
+	// can resume (circuit establishment + MZI settling).
+	OpticalReadyIn unit.Seconds
+}
+
+// CompareRepair fails the given local chip of the given rack
+// allocation and attempts both repair strategies. The fabric's
+// logical torus geometry is used for every rack.
+func (f *Fabric) CompareRepair(allocs []*torus.Allocation, rack, failedChip, circuitWidth int) (*RepairComparison, error) {
+	elecFabric, err := failure.NewFabric(f.torus, allocs, f.torus.Dims()-1)
+	if err != nil {
+		return nil, err
+	}
+	out := &RepairComparison{}
+	plan, err := elecFabric.ElectricalRepair(rack, failedChip, 16)
+	switch {
+	case err == nil:
+		out.ElectricalPossible = true
+		out.ElectricalPlan = plan
+	case plan != nil:
+		out.ElectricalPlan = plan
+	}
+
+	// A fresh fabric for the optical attempt (ElectricalRepair marked
+	// the chip failed; OpticalRepair does too, idempotently, but the
+	// search state should not leak between strategies).
+	optFabric, err := failure.NewFabric(f.torus, allocs, f.torus.Dims()-1)
+	if err != nil {
+		return nil, err
+	}
+	optPlan, err := optFabric.OpticalRepair(rack, failedChip, circuitWidth, 0, f.rand.Split("repair").Uint64())
+	if err != nil {
+		return nil, err
+	}
+	out.OpticalPlan = optPlan
+	out.OpticalReadyIn = optPlan.ReadyAt
+	return out, nil
+}
+
+// BlastRadius compares the two fault policies on a TPUv4-scale
+// cluster (§4.2's headline).
+func BlastRadius() failure.BlastRadiusStats {
+	return failure.SweepBlastRadius(torus.NewTPUv4Cluster())
+}

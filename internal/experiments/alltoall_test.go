@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAllToAllExperiment(t *testing.T) {
+	res, err := AllToAll(DefaultAllToAllBuffers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chips != 16 || res.Steps != 15 || res.Reconfigs != 15 {
+		t.Fatalf("geometry: %+v", res)
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	// Tiny buffers: 15 reconfigurations of 3.7us dominate.
+	if first.Speedup >= 1 {
+		t.Fatalf("16KB speedup = %v, want < 1", first.Speedup)
+	}
+	// Large buffers: multi-hop electrical congestion dominates and
+	// optics wins by more than the ring collectives' 3x.
+	if last.Speedup < 3 {
+		t.Fatalf("64MB speedup = %v, want > 3", last.Speedup)
+	}
+	if res.CrossoverBuffer == 0 {
+		t.Fatal("no crossover")
+	}
+	if len(res.String()) == 0 {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Tabular is implemented by results whose data series can be exported
+// for plotting — the raw points behind each regenerated figure.
+type Tabular interface {
+	// CSV returns the column header and data rows.
+	CSV() (header []string, rows [][]string)
+}
+
+// WriteCSV writes a tabular result to path, creating parent
+// directories as needed.
+func WriteCSV(path string, t Tabular) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header, rows := t.CSV()
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f64(v float64) string { return fmt.Sprintf("%g", v) }
+
+// CSV implements Tabular: (time_us, amplitude) of the step response.
+func (r Fig3aResult) CSV() ([]string, [][]string) {
+	rows := make([][]string, 0, len(r.Trace))
+	for _, s := range r.Trace {
+		rows = append(rows, []string{f64(s.T.Micros()), f64(s.V)})
+	}
+	return []string{"time_us", "amplitude"}, rows
+}
+
+// CSV implements Tabular: (loss_db, density) histogram bins.
+func (r Fig3bResult) CSV() ([]string, [][]string) {
+	rows := make([][]string, 0, len(r.Bins))
+	for _, b := range r.Bins {
+		rows = append(rows, []string{f64(b[0]), f64(b[1])})
+	}
+	return []string{"loss_db", "density"}, rows
+}
+
+// CSV implements Tabular: per-slice utilization and end-to-end times.
+func (r Fig5Result) CSV() ([]string, [][]string) {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Slice, row.Shape,
+			f64(row.Electrical), f64(row.Optical),
+			row.Algorithm,
+			f64(float64(row.ElectricalTime)), f64(float64(row.OpticalTime)),
+			f64(row.Speedup),
+		})
+	}
+	return []string{"slice", "shape", "elec_util", "opt_util", "algorithm",
+		"elec_time_s", "opt_time_s", "speedup"}, rows
+}
+
+// CSV implements Tabular: the buffer sweep series.
+func (r SweepResult) CSV() ([]string, [][]string) {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			f64(float64(p.Buffer)),
+			f64(float64(p.ElectricalTime)), f64(float64(p.OpticalTime)),
+			f64(p.Speedup),
+		})
+	}
+	return []string{"buffer_bytes", "elec_time_s", "opt_time_s", "speedup"}, rows
+}
+
+// CSV implements Tabular: the all-to-all sweep series.
+func (r AllToAllResult) CSV() ([]string, [][]string) {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			f64(float64(p.Buffer)),
+			f64(float64(p.ElectricalTime)), f64(float64(p.OpticalTime)),
+			f64(p.Speedup),
+		})
+	}
+	return []string{"buffer_bytes", "elec_time_s", "opt_time_s", "speedup"}, rows
+}
+
+// CSV implements Tabular: the BER waterfall curve.
+func (r WaterfallResult) CSV() ([]string, [][]string) {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{f64(float64(p.Rx)), f64(p.BER)})
+	}
+	return []string{"rx_dbm", "ber"}, rows
+}
+
+// CSV implements Tabular: the one-shot message-size comparison.
+func (r HostnetResult) CSV() ([]string, [][]string) {
+	rows := make([][]string, 0, len(r.SizePoints))
+	for _, p := range r.SizePoints {
+		rows = append(rows, []string{f64(p[0]), f64(p[1]), f64(p[2])})
+	}
+	return []string{"size_bytes", "packet_s", "circuit_cold_s"}, rows
+}
+
+// CSV implements Tabular: the policy study table.
+func (r SchedulerResult) CSV() ([]string, [][]string) {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Workload, f64(float64(row.Bytes)),
+			f64(float64(row.Eager)), f64(float64(row.Static)),
+			f64(float64(row.Hysteresis)), f64(float64(row.Caching)),
+			f64(float64(row.Optimal)),
+		})
+	}
+	return []string{"workload", "bytes", "eager_s", "static_s",
+		"hysteresis_s", "caching_s", "optimal_s"}, rows
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lightpath/internal/unit"
+)
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	res, err := Fig3a(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "nested", "fig3a.csv")
+	if err := WriteCSV(path, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "time_us,amplitude" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != len(res.Trace)+1 {
+		t.Fatalf("rows = %d, want %d", len(lines)-1, len(res.Trace))
+	}
+}
+
+func TestAllTabularResultsProduceRows(t *testing.T) {
+	var tabs []Tabular
+	if r, err := Fig3a(1); err == nil {
+		tabs = append(tabs, r)
+	}
+	if r, err := Fig3b(1, 2000); err == nil {
+		tabs = append(tabs, r)
+	}
+	if r, err := Fig5(unit.MB, 1); err == nil {
+		tabs = append(tabs, r)
+	}
+	if r, err := Sweep([]unit.Bytes{unit.MB}, 1); err == nil {
+		tabs = append(tabs, r)
+	}
+	if r, err := AllToAll([]unit.Bytes{unit.MiB}); err == nil {
+		tabs = append(tabs, r)
+	}
+	tabs = append(tabs, Waterfall())
+	if r, err := Hostnet(1, 50); err == nil {
+		tabs = append(tabs, r)
+	}
+	if r, err := Scheduler(1, 6); err == nil {
+		tabs = append(tabs, r)
+	}
+	if len(tabs) != 8 {
+		t.Fatalf("built %d tabular results, want 8", len(tabs))
+	}
+	for i, tab := range tabs {
+		header, rows := tab.CSV()
+		if len(header) == 0 || len(rows) == 0 {
+			t.Fatalf("tabular %d: empty series", i)
+		}
+		for _, row := range rows {
+			if len(row) != len(header) {
+				t.Fatalf("tabular %d: row width %d != header %d", i, len(row), len(header))
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"lightpath/internal/alloc"
+	"lightpath/internal/failure"
+	"lightpath/internal/torus"
+	"lightpath/internal/unit"
+)
+
+// Fig6Result covers experiments E7 (Figure 6a) and E8 (Figure 6b):
+// whether a congestion-free electrical replacement of the failed chip
+// exists, and how congested the best attempt is.
+type Fig6Result struct {
+	Figure string
+	// ElectricalPossible is the paper's claim target: false.
+	ElectricalPossible bool
+	// BestCongestion is the minimum congestion units of any
+	// electrical plan found (busy links reused + foreign chips
+	// forwarded through).
+	BestCongestion int
+	// Replacement is the best plan's free chip (global ID), -1 if
+	// none was found at all.
+	Replacement int
+	FreeChips   int
+	// MaxLinkSharing is the worst per-link flow count if the best
+	// congested plan were deployed: the victim's repaired ring and
+	// the neighbor tenants it collides with all slow down by this
+	// factor on the shared link.
+	MaxLinkSharing int
+}
+
+// String renders the result.
+func (r Fig6Result) String() string {
+	verdict := "IMPOSSIBLE without congestion (paper's claim holds)"
+	if r.ElectricalPossible {
+		verdict = "possible congestion-free (contradicts the paper!)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: electrical replacement of the failed chip\n", r.Figure)
+	fmt.Fprintf(&b, "  free replacement candidates: %d\n", r.FreeChips)
+	fmt.Fprintf(&b, "  congestion-free electrical repair: %s\n", verdict)
+	if !r.ElectricalPossible && r.Replacement >= 0 {
+		fmt.Fprintf(&b, "  best congested plan: replacement chip %d with %d congestion units\n",
+			r.Replacement, r.BestCongestion)
+		if r.MaxLinkSharing > 1 {
+			fmt.Fprintf(&b, "  deploying it would put %d flows on one link: a %dx slowdown for every tenant sharing it\n",
+				r.MaxLinkSharing, r.MaxLinkSharing)
+		}
+	}
+	return b.String()
+}
+
+// Fig6a runs experiment E7.
+func Fig6a() (Fig6Result, error) {
+	sc, err := alloc.Fig6a()
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	f, err := failure.NewFabric(sc.Torus, []*torus.Allocation{sc.Alloc}, 2)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	return runFig6("Figure 6a (single rack)", f, 0, sc.FailedChip, len(sc.FreeChips))
+}
+
+// Fig6b runs experiment E8, pre-splicing the free columns of rack 2
+// toward rack 1 to give the electrical repair its best chance.
+func Fig6b() (Fig6Result, error) {
+	sc, err := alloc.Fig6b()
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	f, err := failure.NewFabric(sc.RackTorus, sc.Allocs, sc.SpliceDim)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	busy := f.BusyLinks()
+	for _, freeChip := range sc.FreeChips {
+		col := sc.RackTorus.Coord(freeChip)
+		col[sc.SpliceDim] = 0
+		// Splices through live rings are rejected; ignore those.
+		_ = f.SpliceColumn(0, 1, sc.RackTorus.Index(col), busy)
+	}
+	return runFig6("Figure 6b (across racks)", f, 0, sc.FailedChip, len(sc.FreeChips))
+}
+
+func runFig6(name string, f *failure.Fabric, rack, failedChip, freeChips int) (Fig6Result, error) {
+	res := Fig6Result{Figure: name, Replacement: -1, FreeChips: freeChips}
+	plan, err := f.ElectricalRepair(rack, failedChip, 16)
+	switch {
+	case err == nil:
+		res.ElectricalPossible = true
+		res.BestCongestion = plan.Congestion
+		res.Replacement = plan.Replacement
+	case errors.Is(err, failure.ErrNoCongestionFreeRepair):
+		if plan != nil {
+			res.BestCongestion = plan.Congestion
+			res.Replacement = plan.Replacement
+			res.MaxLinkSharing = linkSharing(f, plan)
+		}
+	default:
+		return Fig6Result{}, err
+	}
+	return res, nil
+}
+
+// linkSharing computes the worst per-link flow count were the
+// congested plan deployed: existing ring traffic plus the repair
+// paths, per directed link (either orientation of a busy cable counts
+// as one standing flow).
+func linkSharing(f *failure.Fabric, plan *failure.ElectricalPlan) int {
+	busy := f.BusyLinks()
+	use := torus.LinkUse{}
+	for _, p := range plan.Paths {
+		use.Add(p.Links)
+	}
+	worst := 0
+	for l, n := range use {
+		total := n
+		if busy[l] > 0 || busy[l.Reverse()] > 0 {
+			total++
+		}
+		if total > worst {
+			worst = total
+		}
+	}
+	return worst
+}
+
+// Fig7Result is experiment E9: the optical repair of the Figure 6a
+// failure.
+type Fig7Result struct {
+	Circuits    int
+	Disjoint    bool
+	ReadyIn     unit.Seconds
+	PerCircuit  unit.BitRate
+	Replacement int
+}
+
+// String renders the result.
+func (r Fig7Result) String() string {
+	return fmt.Sprintf(
+		"Figure 7: optical repair of the broken rings\n"+
+			"  circuits established: %d (replacement chip %d)\n"+
+			"  circuits disjoint (separate waveguides/fibers): %v\n"+
+			"  rings resume after: %v (MZI settling)\n"+
+			"  per-circuit bandwidth: %v\n",
+		r.Circuits, r.Replacement, r.Disjoint, r.ReadyIn, r.PerCircuit)
+}
+
+// Fig7 runs experiment E9 on the Figure 6a scenario.
+func Fig7(seed uint64) (Fig7Result, error) {
+	sc, err := alloc.Fig6a()
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	f, err := failure.NewFabric(sc.Torus, []*torus.Allocation{sc.Alloc}, 2)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	const width = 4
+	plan, err := f.OpticalRepair(0, sc.FailedChip, width, 0, seed)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	return Fig7Result{
+		Circuits:    len(plan.Circuits),
+		Disjoint:    plan.Disjoint(),
+		ReadyIn:     plan.ReadyAt,
+		PerCircuit:  plan.RepairBandwidth(),
+		Replacement: plan.Replacement,
+	}, nil
+}
+
+// BlastResult is experiment E10.
+type BlastResult struct {
+	Stats failure.BlastRadiusStats
+}
+
+// String renders the result.
+func (r BlastResult) String() string {
+	return fmt.Sprintf(
+		"Blast radius of a single chip failure (TPUv4-scale cluster, %d chips)\n"+
+			"  electrical policy (rack granularity): %.0f chips\n"+
+			"  optical repair (server granularity):  %.0f chips\n"+
+			"  shrinkage: %.0fx\n",
+		r.Stats.Failures, r.Stats.ElectricalMean, r.Stats.OpticalMean, r.Stats.Ratio)
+}
+
+// Blast runs experiment E10: the full-cluster failure sweep.
+func Blast() BlastResult {
+	return BlastResult{Stats: failure.SweepBlastRadius(torus.NewTPUv4Cluster())}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lightpath/internal/hostnet"
+	"lightpath/internal/rng"
+	"lightpath/internal/unit"
+)
+
+// HostnetRow compares the two stacks on one workload class.
+type HostnetRow struct {
+	Workload    string
+	PacketMean  unit.Seconds
+	PacketP99   unit.Seconds
+	CircuitMean unit.Seconds
+	CircuitP99  unit.Seconds
+	Setups      int
+}
+
+// HostnetResult is the §1/§5 host-stack study: packetized versus
+// circuit-switched host networking over synthetic traffic classes,
+// plus the one-shot message-size crossover.
+type HostnetResult struct {
+	Rows []HostnetRow
+	// CrossoverSize is the message size where a cold circuit send
+	// matches the packet stack.
+	CrossoverSize unit.Bytes
+	// SizePoints are (size, packet latency, cold circuit latency)
+	// triples of the one-shot sweep.
+	SizePoints [][3]float64
+}
+
+// String renders the result.
+func (r HostnetResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Host networking stacks (§1/§5): packetized vs circuit-switched\n")
+	fmt.Fprintf(&b, "  one-shot crossover: circuits win above %v (cold circuit pays 3.7us setup)\n", r.CrossoverSize)
+	fmt.Fprintf(&b, "  %-10s %-14s %-14s %-14s %-14s %-8s\n",
+		"workload", "pkt mean", "pkt p99", "circ mean", "circ p99", "setups")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-10s %-14v %-14v %-14v %-14v %d\n",
+			row.Workload, row.PacketMean, row.PacketP99, row.CircuitMean, row.CircuitP99, row.Setups)
+	}
+	return b.String()
+}
+
+// Hostnet runs the host-stack study.
+func Hostnet(seed uint64, messages int) (HostnetResult, error) {
+	p := hostnet.DefaultParams()
+	res := HostnetResult{CrossoverSize: p.CrossoverSize()}
+	for s := unit.Bytes(256); s <= 16*unit.MiB; s *= 4 {
+		res.SizePoints = append(res.SizePoints, [3]float64{
+			float64(s),
+			float64(p.PacketLatency(s)),
+			float64(p.CircuitLatency(s, false)),
+		})
+	}
+	r := rng.New(seed)
+	for _, kind := range []hostnet.WorkloadKind{hostnet.WorkloadRPC, hostnet.WorkloadBulk, hostnet.WorkloadBursty} {
+		trace := hostnet.GenerateTrace(kind, messages, r.Split(kind.String()))
+		pkt, err := hostnet.RunPacketTrace(p, trace)
+		if err != nil {
+			return HostnetResult{}, err
+		}
+		circ, err := hostnet.RunCircuitTrace(p, trace)
+		if err != nil {
+			return HostnetResult{}, err
+		}
+		res.Rows = append(res.Rows, HostnetRow{
+			Workload:    kind.String(),
+			PacketMean:  pkt.Mean,
+			PacketP99:   pkt.P99,
+			CircuitMean: circ.Mean,
+			CircuitP99:  circ.P99,
+			Setups:      circ.Setups,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"testing"
+
+	"lightpath/internal/phy"
+	"lightpath/internal/unit"
+)
+
+func TestHostnetExperiment(t *testing.T) {
+	res, err := Hostnet(5, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.CrossoverSize <= 0 {
+		t.Fatalf("crossover = %v", res.CrossoverSize)
+	}
+	// Bulk traffic must favor circuits.
+	for _, row := range res.Rows {
+		if row.Workload == "bulk" && row.CircuitMean >= row.PacketMean {
+			t.Fatalf("bulk: circuit mean %v >= packet %v", row.CircuitMean, row.PacketMean)
+		}
+	}
+	if len(res.SizePoints) == 0 {
+		t.Fatal("no size sweep points")
+	}
+	if len(res.String()) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestTenantSweepExperiment(t *testing.T) {
+	res, err := TenantSweep(6, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tenants == 0 {
+		t.Fatal("no tenants packed")
+	}
+	// Random multi-tenant packing always strands bandwidth: the mean
+	// electrical utilization sits strictly below full.
+	if res.ElecMean >= 1 || res.ElecMean <= 0 {
+		t.Fatalf("mean electrical utilization = %v", res.ElecMean)
+	}
+	if res.ElecWorst > res.ElecP10 || res.ElecP10 > res.ElecMean {
+		t.Fatalf("percentiles disordered: %+v", res)
+	}
+	if len(res.String()) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestTenantSweepDeterministic(t *testing.T) {
+	a, err := TenantSweep(9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TenantSweep(9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestWaterfallExperiment(t *testing.T) {
+	res := Waterfall()
+	if len(res.Points) != 13 {
+		t.Fatalf("points = %d, want 13 (+-6 dB at 1 dB steps)", len(res.Points))
+	}
+	// Monotone non-increasing BER with power.
+	prev := 1.0
+	for _, p := range res.Points {
+		if p.BER > prev+1e-18 {
+			t.Fatalf("BER not monotone at %v", p.Rx)
+		}
+		prev = p.BER
+	}
+	// At sensitivity: ~1e-12.
+	mid := res.Points[6]
+	if mid.Rx != phy.DefaultBudget().ReceiverSensitivity {
+		t.Fatalf("midpoint rx = %v", mid.Rx)
+	}
+	if mid.BER > 1e-11 || mid.BER < 1e-13 {
+		t.Fatalf("BER at sensitivity = %v", mid.BER)
+	}
+	if len(res.String()) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestRepairabilityExperiment(t *testing.T) {
+	res, err := Repairability(21, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials < 30 {
+		t.Fatalf("trials = %d, want >= 30", res.Trials)
+	}
+	// The §4.2 claim at population scale: optics repairs essentially
+	// everything; congestion-free electrical repair is the exception.
+	if res.OpticalOK < res.Trials {
+		t.Fatalf("optical repaired %d/%d; expected all", res.OpticalOK, res.Trials)
+	}
+	if res.ElectricalOK >= res.Trials {
+		t.Fatal("electrical repair never failed; scenario generator too easy")
+	}
+	if len(res.String()) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestRepairabilityDeterministic(t *testing.T) {
+	a, err := Repairability(33, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Repairability(33, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSchedulerExperiment(t *testing.T) {
+	res, err := Scheduler(17, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9 (3 workloads x 3 sizes)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// Nothing beats the clairvoyant optimum.
+		for _, total := range []float64{
+			float64(row.Eager), float64(row.Static), float64(row.Hysteresis),
+		} {
+			if total < float64(row.Optimal)-1e-12 {
+				t.Fatalf("%s/%v: policy total %v beat optimal %v", row.Workload, row.Bytes, total, row.Optimal)
+			}
+		}
+		// Hysteresis never loses to both extremes at once.
+		worst := row.Eager
+		if row.Static > worst {
+			worst = row.Static
+		}
+		if row.Hysteresis > worst {
+			t.Fatalf("%s/%v: hysteresis %v worse than both extremes", row.Workload, row.Bytes, row.Hysteresis)
+		}
+	}
+	if len(res.String()) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestProtocolsExperiment(t *testing.T) {
+	res := Protocols()
+	if res.Crossover <= 0 {
+		t.Fatalf("crossover = %v", res.Crossover)
+	}
+	sawEager, sawRendezvous := false, false
+	for _, row := range res.Rows {
+		switch row.Best {
+		case "eager":
+			sawEager = true
+		case "rendezvous":
+			sawRendezvous = true
+		}
+		if row.Size > res.EagerLimit && row.Best != "rendezvous" {
+			t.Fatalf("size %v above eager limit chose %s", row.Size, row.Best)
+		}
+	}
+	if !sawEager || !sawRendezvous {
+		t.Fatalf("ladder did not cross: eager=%v rendezvous=%v", sawEager, sawRendezvous)
+	}
+	if len(res.String()) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestMoESweepExperiment(t *testing.T) {
+	res, err := MoE(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Overhead falls as payloads grow (§5's trade-off curve).
+	if res.Rows[0].Overhead <= res.Rows[2].Overhead {
+		t.Fatalf("overhead not decreasing: %v vs %v", res.Rows[0].Overhead, res.Rows[2].Overhead)
+	}
+	if res.Rows[2].Overhead > 0.05 {
+		t.Fatalf("4MB overhead = %v, want < 5%%", res.Rows[2].Overhead)
+	}
+	if len(res.String()) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestScaleExperiment(t *testing.T) {
+	res, err := Scale(64*unit.MB, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Chips quadruple across the sweep; per-chip data shrinks, so the
+	// AllReduce time stays the same order while capacity scales.
+	if res.Rows[0].Chips != 64 || res.Rows[2].Chips != 256 {
+		t.Fatalf("chip counts: %+v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		// Full-torus slices: neither interconnect strands bandwidth;
+		// speedup ~1 (optics pays only the reconfigurations).
+		if row.Speedup < 0.9 || row.Speedup > 1.1 {
+			t.Fatalf("%s speedup = %v, want ~1", row.Shape, row.Speedup)
+		}
+		if row.ElecTime <= 0 {
+			t.Fatalf("%s: no time", row.Shape)
+		}
+	}
+	if len(res.String()) == 0 {
+		t.Fatal("empty render")
+	}
+}

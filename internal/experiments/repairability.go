@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"lightpath/internal/alloc"
+	"lightpath/internal/failure"
+	"lightpath/internal/rng"
+	"lightpath/internal/torus"
+)
+
+// RepairabilityResult generalizes Figures 6-7 statistically: across
+// random multi-tenant racks with one random chip failure each, how
+// often does a congestion-free electrical replacement exist, and how
+// often does the optical repair succeed?
+type RepairabilityResult struct {
+	Trials int
+	// ElectricalOK counts congestion-free electrical repairs;
+	// OpticalOK counts successful circuit repairs.
+	ElectricalOK, OpticalOK int
+	// MeanCongestion is the average congestion units of the best
+	// electrical plan when a clean one did not exist.
+	MeanCongestion float64
+}
+
+// String renders the result.
+func (r RepairabilityResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Repairability sweep: %d random rack/failure scenarios\n", r.Trials)
+	fmt.Fprintf(&b, "  congestion-free electrical repair: %d/%d (%.0f%%)\n",
+		r.ElectricalOK, r.Trials, 100*float64(r.ElectricalOK)/float64(maxOf(r.Trials, 1)))
+	fmt.Fprintf(&b, "  optical circuit repair:            %d/%d (%.0f%%)\n",
+		r.OpticalOK, r.Trials, 100*float64(r.OpticalOK)/float64(maxOf(r.Trials, 1)))
+	fmt.Fprintf(&b, "  mean congestion of best electrical plan when congestion-free fails: %.1f units\n",
+		r.MeanCongestion)
+	return b.String()
+}
+
+// Repairability runs the sweep: each trial packs a 4x4x4 rack with
+// random tenants (leaving spares), fails a random ring-carrying chip,
+// and attempts both repairs.
+func Repairability(seed uint64, trials int) (RepairabilityResult, error) {
+	r := rng.New(seed)
+	res := RepairabilityResult{}
+	var congestionSum, congestionN int
+	for trial := 0; res.Trials < trials && trial < trials*4; trial++ {
+		stream := r.Split(fmt.Sprintf("trial-%d", trial))
+		t := torus.New(torus.TPUv4RackShape)
+		placer := alloc.NewPlacer(t)
+		// Up to 3 tenants so spares remain for repair.
+		placed := alloc.RandomTenants(placer, stream, 3)
+		if len(placed) == 0 || placer.FreeCount() == 0 {
+			continue
+		}
+		a, err := placer.Allocation()
+		if err != nil {
+			return res, err
+		}
+		// Fail a random allocated chip belonging to a multi-chip slice.
+		victim := placed[stream.Intn(len(placed))]
+		if victim.Size() < 2 {
+			continue
+		}
+		chips := victim.Chips(t)
+		failed := chips[stream.Intn(len(chips))]
+
+		elecFabric, err := failure.NewFabric(t, []*torus.Allocation{a}, 2)
+		if err != nil {
+			return res, err
+		}
+		plan, err := elecFabric.ElectricalRepair(0, failed, 16)
+		switch {
+		case err == nil:
+			res.ElectricalOK++
+		case errors.Is(err, failure.ErrNoCongestionFreeRepair):
+			if plan != nil {
+				congestionSum += plan.Congestion
+				congestionN++
+			}
+		default:
+			// "carries no rings": nothing to repair; not a trial.
+			continue
+		}
+
+		optFabric, err := failure.NewFabric(t, []*torus.Allocation{a}, 2)
+		if err != nil {
+			return res, err
+		}
+		if _, err := optFabric.OpticalRepair(0, failed, 2, 0, stream.Uint64()); err == nil {
+			res.OpticalOK++
+		}
+		res.Trials++
+	}
+	if res.Trials == 0 {
+		return res, fmt.Errorf("experiments: repairability produced no valid trials")
+	}
+	if congestionN > 0 {
+		res.MeanCongestion = float64(congestionSum) / float64(congestionN)
+	}
+	return res, nil
+}

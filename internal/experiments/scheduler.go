@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lightpath/internal/phy"
+	"lightpath/internal/rng"
+	"lightpath/internal/sched"
+	"lightpath/internal/unit"
+)
+
+// SchedulerRow is one (workload, transfer size) cell of the resource
+// allocation study: total time per policy, normalized to the offline
+// optimum.
+type SchedulerRow struct {
+	Workload string
+	Bytes    unit.Bytes
+	// Totals per policy.
+	Eager, Static, Hysteresis, Caching, Hedge, Optimal unit.Seconds
+	// Reconfigs of the adaptive policies (the interesting knob).
+	HysteresisReconfigs, CachingReconfigs int
+}
+
+// competitive returns t/optimal.
+func (r SchedulerRow) competitive(t unit.Seconds) float64 {
+	if r.Optimal == 0 {
+		return 0
+	}
+	return float64(t / r.Optimal)
+}
+
+// SchedulerResult is the §1/§5 "optical resource allocation
+// algorithms" study: online reconfiguration policies against the
+// clairvoyant optimum, across traffic stability classes and transfer
+// sizes.
+type SchedulerResult struct {
+	Chips, Phases int
+	Rows          []SchedulerRow
+}
+
+// String renders the table.
+func (r SchedulerResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Optical resource allocation (§1/§5): %d chips, %d phases, total time vs offline optimal\n",
+		r.Chips, r.Phases)
+	fmt.Fprintf(&b, "  %-10s %-10s %-18s %-18s %-22s %-22s %-18s\n",
+		"workload", "bytes", "eager", "static-ring", "hysteresis", "caching-lru", "hedge")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-10s %-10v %-18s %-18s %-22s %-22s %-18s\n",
+			row.Workload, row.Bytes,
+			fmt.Sprintf("%v (%.2fx)", row.Eager, row.competitive(row.Eager)),
+			fmt.Sprintf("%v (%.2fx)", row.Static, row.competitive(row.Static)),
+			fmt.Sprintf("%v (%.2fx, %dr)", row.Hysteresis, row.competitive(row.Hysteresis), row.HysteresisReconfigs),
+			fmt.Sprintf("%v (%.2fx, %dr)", row.Caching, row.competitive(row.Caching), row.CachingReconfigs),
+			fmt.Sprintf("%v (%.2fx)", row.Hedge, row.competitive(row.Hedge)))
+	}
+	return b.String()
+}
+
+// Scheduler runs the policy study.
+func Scheduler(seed uint64, phases int) (SchedulerResult, error) {
+	p := sched.Params{
+		ChipBandwidth: unit.GBps(300),
+		Reconfig:      phy.ReconfigLatency,
+		PortLimit:     16,
+	}
+	chips := make([]int, 8)
+	for i := range chips {
+		chips[i] = i
+	}
+	res := SchedulerResult{Chips: len(chips), Phases: phases}
+	r := rng.New(seed)
+	for _, kind := range []sched.WorkloadKind{sched.WorkloadPeriodic, sched.WorkloadShifting, sched.WorkloadChurning} {
+		for _, bytes := range []unit.Bytes{4 * unit.KiB, 256 * unit.KiB, 16 * unit.MiB} {
+			stream := r.Split(fmt.Sprintf("%s-%v", kind, bytes))
+			demands := sched.Generate(kind, chips, phases, bytes, stream)
+
+			eager, err := sched.Run(p, sched.EagerPolicy{}, demands)
+			if err != nil {
+				return res, err
+			}
+			static, err := sched.Run(p, sched.NewStaticPolicy(chips), demands)
+			if err != nil {
+				return res, err
+			}
+			hyst, err := sched.Run(p, sched.HysteresisPolicy{P: p, Threshold: 1.0}, demands)
+			if err != nil {
+				return res, err
+			}
+			caching, err := sched.Run(p, sched.NewCachingPolicy(p), demands)
+			if err != nil {
+				return res, err
+			}
+			hedge, err := sched.Run(p, sched.NewHedgePolicy(p), demands)
+			if err != nil {
+				return res, err
+			}
+			opt, err := sched.OfflineOptimal(p, demands, chips)
+			if err != nil {
+				return res, err
+			}
+			res.Rows = append(res.Rows, SchedulerRow{
+				Workload:            kind.String(),
+				Bytes:               bytes,
+				Eager:               eager.Total,
+				Static:              static.Total,
+				Hysteresis:          hyst.Total,
+				Caching:             caching.Total,
+				Hedge:               hedge.Total,
+				Optimal:             opt.Total,
+				HysteresisReconfigs: hyst.Reconfigs,
+				CachingReconfigs:    caching.Reconfigs,
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"lightpath/internal/cost"
+	"lightpath/internal/torus"
+	"lightpath/internal/unit"
+)
+
+// Table1 is experiment E4: the Slice-1 (4x2x1) ReduceScatter costs.
+// n is the buffer length in 4-byte elements.
+func Table1(n int) (cost.Table1, error) {
+	t := torus.New(torus.TPUv4RackShape)
+	s := &torus.Slice{Name: "Slice-1", Origin: torus.Coord{0, 0, 3}, Shape: torus.Shape{4, 2, 1}}
+	return cost.MakeTable1(cost.DefaultParams(), t, s, n, 4)
+}
+
+// Table2 is experiment E5: the Slice-3 (4x4x1) two-stage bucket
+// ReduceScatter costs.
+func Table2(n int) (cost.Table2, error) {
+	t := torus.New(torus.TPUv4RackShape)
+	s := &torus.Slice{Name: "Slice-3", Origin: torus.Coord{0, 0, 2}, Shape: torus.Shape{4, 4, 1}}
+	return cost.MakeTable2(cost.DefaultParams(), t, s, []int{0, 1}, n, 4)
+}
+
+// DefaultTableBuffer is the buffer used by the CLI for the tables:
+// 64 MB of float32 gradients, a typical per-step AllReduce shard.
+const DefaultTableBuffer = 16 << 20 // elements; x4 bytes = 64 MB
+
+// TableBufferBytes converts an element count to bytes.
+func TableBufferBytes(n int) unit.Bytes { return unit.Bytes(n) * 4 }

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lightpath/internal/alloc"
+	"lightpath/internal/phy"
+	"lightpath/internal/rng"
+	"lightpath/internal/torus"
+)
+
+// TenantSweepResult generalizes Figure 5c beyond the paper's one
+// hand-drawn rack: many random multi-tenant packings of a 4x4x4 rack,
+// measuring the distribution of electrical bandwidth utilization
+// versus the photonic fabric's.
+type TenantSweepResult struct {
+	Racks, Tenants int
+	// ElecMean/ElecP10 summarize per-tenant electrical utilization;
+	// optical utilization is 1.0 for every tenant with any ring.
+	ElecMean, ElecP10, ElecWorst float64
+	// FullyStranded counts tenants at zero electrical utilization
+	// whose slices still have rings (i.e. optics rescues them).
+	FullyStranded int
+}
+
+// String renders the result.
+func (r TenantSweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tenant sweep: %d random rack packings, %d tenants total\n", r.Racks, r.Tenants)
+	fmt.Fprintf(&b, "  electrical utilization: mean %.2f, p10 %.2f, worst %.2f (optical: 1.00)\n",
+		r.ElecMean, r.ElecP10, r.ElecWorst)
+	fmt.Fprintf(&b, "  tenants with zero congestion-free dimensions (rescued by optics): %d\n", r.FullyStranded)
+	return b.String()
+}
+
+// TenantSweep packs racks random tenant mixes and aggregates the
+// utilization gap.
+func TenantSweep(seed uint64, racks int) (TenantSweepResult, error) {
+	r := rng.New(seed)
+	var utils []float64
+	res := TenantSweepResult{Racks: racks}
+	for rack := 0; rack < racks; rack++ {
+		t := torus.New(torus.TPUv4RackShape)
+		placer := alloc.NewPlacer(t)
+		placed := alloc.RandomTenants(placer, r.Split(fmt.Sprintf("rack-%d", rack)), 12)
+		if len(placed) == 0 {
+			continue
+		}
+		a, err := placer.Allocation()
+		if err != nil {
+			return TenantSweepResult{}, err
+		}
+		for si, s := range a.Slices() {
+			// Skip slices with no rings at all (nothing to utilize).
+			active := 0
+			for _, e := range s.Shape {
+				if e >= 2 {
+					active++
+				}
+			}
+			if active == 0 {
+				continue
+			}
+			res.Tenants++
+			u := a.Utilization(si)
+			utils = append(utils, u)
+			if u == 0 {
+				res.FullyStranded++
+			}
+		}
+	}
+	if len(utils) == 0 {
+		return res, fmt.Errorf("experiments: tenant sweep produced no tenants")
+	}
+	res.ElecMean = phy.Mean(utils)
+	res.ElecP10 = phy.Percentile(utils, 10)
+	res.ElecWorst = phy.Percentile(utils, 0)
+	return res, nil
+}

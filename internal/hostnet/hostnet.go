@@ -1,0 +1,160 @@
+// Package hostnet models the host networking software stack the paper
+// says server-scale optics will necessitate (§1: "server-scale optics
+// will necessitate the development of new host networking software
+// stacks optimized for circuit-switching as opposed to today's
+// packetized data transmission").
+//
+// Two transports are modeled at message granularity:
+//
+//   - Packet: today's stack. Every message is segmented into MTU-sized
+//     packets, each paying per-packet software/NIC processing, and the
+//     payload crosses a store-and-forward switched fabric (per-hop
+//     switch latency).
+//
+//   - Circuit: the LIGHTPATH stack. A message needs an optical circuit
+//     to its destination; establishing one costs the MZI
+//     reconfiguration delay, but once up, data streams at the full
+//     circuit rate with no per-packet processing and no intermediate
+//     switching. Circuits are cached per destination and torn down
+//     after an idle timeout (holding one occupies a laser and a SerDes
+//     port).
+//
+// RunTrace drives either transport over a timestamped message trace
+// and reports per-message latency, which is how the paper's §5
+// trade-off — reconfiguration delay versus end-to-end performance —
+// becomes measurable for host traffic rather than collectives.
+package hostnet
+
+import (
+	"fmt"
+	"math"
+
+	"lightpath/internal/phy"
+	"lightpath/internal/unit"
+)
+
+// Params are the constants of both stacks.
+type Params struct {
+	// SoftwareOverhead is the per-message send cost (syscall, driver,
+	// DMA setup) paid by both transports.
+	SoftwareOverhead unit.Seconds
+
+	// MTU is the packet payload size of the packetized stack.
+	MTU unit.Bytes
+	// PerPacketOverhead is the per-packet processing cost (header
+	// build, checksum, descriptor ring) of the packetized stack. It
+	// pipelines with serialization: the sender is limited by the
+	// slower of the NIC and the packet-processing path.
+	PerPacketOverhead unit.Seconds
+	// PacketBandwidth is the NIC line rate.
+	PacketBandwidth unit.BitRate
+	// SwitchLatency is the per-hop store-and-forward latency of the
+	// electrical packet fabric; Hops is the path length.
+	SwitchLatency unit.Seconds
+	Hops          int
+
+	// CircuitBandwidth is the optical circuit rate (width x 224 Gbps).
+	CircuitBandwidth unit.BitRate
+	// CircuitSetup is the circuit establishment time (MZI settling).
+	CircuitSetup unit.Seconds
+	// IdleTimeout tears down a cached circuit after this much idle
+	// time; zero means tear down after every message.
+	IdleTimeout unit.Seconds
+	// MaxCachedCircuits bounds concurrently held circuits (laser and
+	// SerDes port budget); 0 means unlimited.
+	MaxCachedCircuits int
+
+	// Propagation is the one-way flight time, identical for both
+	// (same physical distance).
+	Propagation unit.Seconds
+}
+
+// DefaultParams models a contemporary host against a LIGHTPATH
+// circuit of 4 wavelengths.
+func DefaultParams() Params {
+	return Params{
+		SoftwareOverhead:  1 * unit.Microsecond,
+		MTU:               4 * unit.KiB,
+		PerPacketOverhead: 100 * unit.Nanosecond,
+		PacketBandwidth:   unit.GBps(100), // one dimension's share of chip egress
+		SwitchLatency:     500 * unit.Nanosecond,
+		Hops:              2,
+		CircuitBandwidth:  4 * phy.WavelengthCapacity,
+		CircuitSetup:      phy.ReconfigLatency,
+		IdleTimeout:       100 * unit.Microsecond,
+		MaxCachedCircuits: 16,
+		Propagation:       20 * unit.Nanosecond, // ~4 m of fiber/waveguide
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.MTU <= 0:
+		return fmt.Errorf("hostnet: non-positive MTU")
+	case p.PacketBandwidth <= 0:
+		return fmt.Errorf("hostnet: non-positive packet bandwidth")
+	case p.CircuitBandwidth <= 0:
+		return fmt.Errorf("hostnet: non-positive circuit bandwidth")
+	case p.Hops < 0:
+		return fmt.Errorf("hostnet: negative hop count")
+	case p.MaxCachedCircuits < 0:
+		return fmt.Errorf("hostnet: negative circuit cache bound")
+	}
+	return nil
+}
+
+// PacketLatency returns the one-shot latency of sending size bytes
+// over the packetized stack: software overhead, the slower of wire
+// serialization and per-packet processing (they pipeline), per-hop
+// switching of the first packet (cut-through pipelining hides the
+// rest), and propagation.
+func (p Params) PacketLatency(size unit.Bytes) unit.Seconds {
+	if size <= 0 {
+		return p.SoftwareOverhead
+	}
+	packets := math.Ceil(float64(size) / float64(p.MTU))
+	serialization := p.PacketBandwidth.TimeFor(size)
+	processing := unit.Seconds(packets) * p.PerPacketOverhead
+	pipeline := serialization
+	if processing > pipeline {
+		pipeline = processing
+	}
+	return p.SoftwareOverhead + pipeline +
+		unit.Seconds(p.Hops)*p.SwitchLatency + p.Propagation
+}
+
+// CircuitLatency returns the one-shot latency over the circuit stack,
+// given whether a circuit to the destination is already up.
+func (p Params) CircuitLatency(size unit.Bytes, warm bool) unit.Seconds {
+	lat := p.SoftwareOverhead + p.CircuitBandwidth.TimeFor(size) + p.Propagation
+	if !warm {
+		lat += p.CircuitSetup
+	}
+	return lat
+}
+
+// CrossoverSize returns the message size at which a cold circuit send
+// matches the packet stack: below it, packets win; above, circuits do
+// (and warm circuits win almost everywhere). Returns 0 when circuits
+// win even at one byte, and -1 when packets always win (circuit not
+// faster per byte).
+func (p Params) CrossoverSize() unit.Bytes {
+	// Solve packet(size) = circuit_cold(size) for size. The packet
+	// stack's effective per-byte cost is the slower of wire
+	// serialization and per-packet processing (they pipeline):
+	// sw + s*perByte_p + hops*lat + prop = sw + setup + s/Bc + prop.
+	perBytePacket := 1 / p.PacketBandwidth.BytesPerSecond()
+	if proc := float64(p.PerPacketOverhead) / float64(p.MTU); proc > perBytePacket {
+		perBytePacket = proc
+	}
+	perByteGap := perBytePacket - 1/p.CircuitBandwidth.BytesPerSecond()
+	fixedGap := float64(p.CircuitSetup) - float64(unit.Seconds(p.Hops)*p.SwitchLatency)
+	if perByteGap <= 0 {
+		return -1
+	}
+	if fixedGap <= 0 {
+		return 0
+	}
+	return unit.Bytes(fixedGap / perByteGap)
+}

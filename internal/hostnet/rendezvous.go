@@ -1,0 +1,74 @@
+package hostnet
+
+import (
+	"lightpath/internal/unit"
+)
+
+// This file models the eager-versus-rendezvous protocol choice inside
+// the circuit-switched stack — a classic host-networking design point
+// that server-scale optics reopens (§1). Eager sends copy the payload
+// through a pre-posted bounce buffer (no handshake, but a receiver-side
+// memory copy); rendezvous sends handshake first (one round trip) and
+// then stream zero-copy at the full circuit rate.
+
+// ProtocolParams extends Params with the memory-system constants the
+// protocol choice depends on.
+type ProtocolParams struct {
+	Params
+	// MemBandwidth is the receiver's copy bandwidth for draining the
+	// eager bounce buffer.
+	MemBandwidth unit.BitRate
+	// EagerLimit is the largest message sent eagerly (the bounce
+	// buffer size); larger messages always use rendezvous.
+	EagerLimit unit.Bytes
+}
+
+// DefaultProtocolParams models an HBM-class accelerator host.
+func DefaultProtocolParams() ProtocolParams {
+	return ProtocolParams{
+		Params:       DefaultParams(),
+		MemBandwidth: unit.GBps(1200), // HBM copy engine
+		EagerLimit:   64 * unit.KiB,
+	}
+}
+
+// EagerLatency returns the warm-circuit latency of an eager send: the
+// wire transfer plus the receiver's bounce-buffer copy (they pipeline
+// per message in steady state, but a single message sees both).
+func (p ProtocolParams) EagerLatency(size unit.Bytes, warm bool) unit.Seconds {
+	return p.CircuitLatency(size, warm) + p.MemBandwidth.TimeFor(size)
+}
+
+// RendezvousLatency returns the latency of a rendezvous send: a
+// request/grant handshake (one full round trip of software overhead
+// and propagation) followed by the zero-copy stream.
+func (p ProtocolParams) RendezvousLatency(size unit.Bytes, warm bool) unit.Seconds {
+	handshake := 2*p.SoftwareOverhead + 2*p.Propagation
+	return handshake + p.CircuitLatency(size, warm)
+}
+
+// BestProtocolLatency returns the lower of the two protocols for the
+// message, honoring the eager limit, and reports which won.
+func (p ProtocolParams) BestProtocolLatency(size unit.Bytes, warm bool) (unit.Seconds, string) {
+	rdv := p.RendezvousLatency(size, warm)
+	if size > p.EagerLimit {
+		return rdv, "rendezvous"
+	}
+	eager := p.EagerLatency(size, warm)
+	if eager <= rdv {
+		return eager, "eager"
+	}
+	return rdv, "rendezvous"
+}
+
+// ProtocolCrossover returns the message size where rendezvous starts
+// beating eager on a warm circuit: the size at which the bounce copy
+// costs more than the handshake round trip.
+func (p ProtocolParams) ProtocolCrossover() unit.Bytes {
+	handshake := 2*p.SoftwareOverhead + 2*p.Propagation
+	perByteCopy := 1 / p.MemBandwidth.BytesPerSecond()
+	if perByteCopy <= 0 {
+		return 0
+	}
+	return unit.Bytes(float64(handshake) / perByteCopy)
+}

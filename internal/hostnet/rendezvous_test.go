@@ -1,0 +1,75 @@
+package hostnet
+
+import (
+	"math"
+	"testing"
+
+	"lightpath/internal/unit"
+)
+
+func TestEagerVsRendezvousCrossover(t *testing.T) {
+	p := DefaultProtocolParams()
+	x := p.ProtocolCrossover()
+	if x <= 0 {
+		t.Fatalf("crossover = %v", x)
+	}
+	// Well below the crossover: eager wins (handshake > copy).
+	small := x / 4
+	if e, r := p.EagerLatency(small, true), p.RendezvousLatency(small, true); e >= r {
+		t.Fatalf("small %v: eager %v >= rendezvous %v", small, e, r)
+	}
+	// Well above: rendezvous wins.
+	big := x * 4
+	if big > p.EagerLimit {
+		big = p.EagerLimit // stay in the eager-eligible range for a fair comparison
+	}
+	if big > x {
+		if e, r := p.EagerLatency(big, true), p.RendezvousLatency(big, true); r >= e {
+			t.Fatalf("big %v: rendezvous %v >= eager %v", big, r, e)
+		}
+	}
+}
+
+func TestBestProtocolHonorsEagerLimit(t *testing.T) {
+	p := DefaultProtocolParams()
+	// Above the limit: always rendezvous, even if eager would be faster.
+	lat, proto := p.BestProtocolLatency(p.EagerLimit*2, true)
+	if proto != "rendezvous" {
+		t.Fatalf("above limit chose %s", proto)
+	}
+	if want := p.RendezvousLatency(p.EagerLimit*2, true); math.Abs(float64(lat-want)) > 1e-15 {
+		t.Fatalf("latency = %v, want %v", lat, want)
+	}
+	// Tiny message: eager.
+	if _, proto := p.BestProtocolLatency(256, true); proto != "eager" {
+		t.Fatalf("tiny message chose %s", proto)
+	}
+}
+
+func TestBestProtocolNeverWorseThanEither(t *testing.T) {
+	p := DefaultProtocolParams()
+	for size := unit.Bytes(64); size <= 16*unit.MiB; size *= 4 {
+		for _, warm := range []bool{true, false} {
+			best, _ := p.BestProtocolLatency(size, warm)
+			rdv := p.RendezvousLatency(size, warm)
+			if best > rdv+1e-15 {
+				t.Fatalf("size %v warm %v: best %v > rendezvous %v", size, warm, best, rdv)
+			}
+			if size <= p.EagerLimit {
+				if eager := p.EagerLatency(size, warm); best > eager+1e-15 {
+					t.Fatalf("size %v: best %v > eager %v", size, best, eager)
+				}
+			}
+		}
+	}
+}
+
+func TestEagerIncludesCopyCost(t *testing.T) {
+	p := DefaultProtocolParams()
+	size := 32 * unit.KiB
+	gap := p.EagerLatency(size, true) - p.CircuitLatency(size, true)
+	want := p.MemBandwidth.TimeFor(size)
+	if math.Abs(float64(gap-want)) > 1e-15 {
+		t.Fatalf("copy cost = %v, want %v", gap, want)
+	}
+}

@@ -1,0 +1,187 @@
+// Package netsim is a discrete-event fluid-flow network simulator: a
+// set of flows share the capacity of the resources (links, circuits)
+// they traverse under max-min fairness, and the simulator advances
+// from flow completion to flow completion, recomputing the fair rates
+// as capacity frees up.
+//
+// It exists to validate the paper's analytic alpha-beta arguments
+// dynamically: collective schedules execute against an electrical
+// torus (where concurrent transfers contend on shared links — the
+// paper's congestion) or against photonic circuits (contention-free by
+// construction), and the measured completion times must bracket and
+// converge to the cost model's predictions (a DESIGN.md invariant).
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lightpath/internal/unit"
+)
+
+// Flow is one data transfer traversing a set of shared resources.
+type Flow[R comparable] struct {
+	// Bytes is the payload size.
+	Bytes unit.Bytes
+	// Via lists the resources the flow occupies; its rate is the
+	// max-min fair share of its most contended resource.
+	Via []R
+}
+
+// Result reports a simulated flow set.
+type Result struct {
+	// Makespan is when the last flow finished.
+	Makespan unit.Seconds
+	// FlowEnd[i] is when flow i finished.
+	FlowEnd []unit.Seconds
+	// Delivered[i] is the bytes flow i delivered (equals its request;
+	// exposed so tests can assert conservation).
+	Delivered []unit.Bytes
+}
+
+// ErrStarvedFlow reports a flow that can never finish: it has positive
+// bytes but traverses no resource or a zero-capacity resource.
+var ErrStarvedFlow = errors.New("netsim: flow can never complete")
+
+// Run simulates the flows sharing the given resource capacities until
+// all complete, returning per-flow completion times. Flows with zero
+// bytes complete at time zero. Resources not present in caps are an
+// error — silently treating them as infinite would hide modeling bugs.
+func Run[R comparable](flows []Flow[R], caps map[R]unit.BitRate) (Result, error) {
+	res := Result{
+		FlowEnd:   make([]unit.Seconds, len(flows)),
+		Delivered: make([]unit.Bytes, len(flows)),
+	}
+	remaining := make([]float64, len(flows)) // bytes left
+	active := 0
+	for i, f := range flows {
+		if f.Bytes < 0 {
+			return Result{}, fmt.Errorf("netsim: flow %d has negative size", i)
+		}
+		if f.Bytes == 0 {
+			continue
+		}
+		if len(f.Via) == 0 {
+			return Result{}, fmt.Errorf("%w: flow %d traverses no resources", ErrStarvedFlow, i)
+		}
+		for _, r := range f.Via {
+			c, ok := caps[r]
+			if !ok {
+				return Result{}, fmt.Errorf("netsim: flow %d uses unknown resource %v", i, r)
+			}
+			if c <= 0 {
+				return Result{}, fmt.Errorf("%w: flow %d crosses zero-capacity resource %v", ErrStarvedFlow, i, r)
+			}
+		}
+		remaining[i] = float64(f.Bytes)
+		active++
+	}
+
+	now := 0.0
+	for active > 0 {
+		rates := fairRates(flows, caps, remaining)
+		// Advance to the earliest completion.
+		dt := math.Inf(1)
+		for i := range flows {
+			if remaining[i] <= 0 {
+				continue
+			}
+			if rates[i] <= 0 {
+				return Result{}, fmt.Errorf("%w: flow %d received zero rate", ErrStarvedFlow, i)
+			}
+			if t := remaining[i] / rates[i]; t < dt {
+				dt = t
+			}
+		}
+		now += dt
+		for i := range flows {
+			if remaining[i] <= 0 {
+				continue
+			}
+			remaining[i] -= rates[i] * dt
+			// Tolerate float round-off at the completion boundary.
+			if remaining[i] <= 1e-6 {
+				remaining[i] = 0
+				res.FlowEnd[i] = unit.Seconds(now)
+				res.Delivered[i] = flows[i].Bytes
+				active--
+			}
+		}
+	}
+	for i := range flows {
+		if res.FlowEnd[i] > res.Makespan {
+			res.Makespan = res.FlowEnd[i]
+		}
+	}
+	return res, nil
+}
+
+// fairRates computes max-min fair rates (bytes/second) by progressive
+// filling: repeatedly find the most constrained resource, freeze its
+// flows at the fair share, and remove them.
+func fairRates[R comparable](flows []Flow[R], caps map[R]unit.BitRate, remaining []float64) []float64 {
+	rates := make([]float64, len(flows))
+	frozen := make([]bool, len(flows))
+	// Residual capacity in bytes/second.
+	residual := make(map[R]float64, len(caps))
+	users := make(map[R]int, len(caps))
+	for i, f := range flows {
+		if remaining[i] <= 0 {
+			frozen[i] = true
+			continue
+		}
+		for _, r := range f.Via {
+			users[r]++
+		}
+	}
+	for r, n := range users {
+		_ = n
+		residual[r] = caps[r].BytesPerSecond()
+	}
+
+	for {
+		// Most constrained resource: minimal residual / users.
+		var bestR R
+		best := math.Inf(1)
+		found := false
+		for r, n := range users {
+			if n == 0 {
+				continue
+			}
+			if share := residual[r] / float64(n); share < best {
+				best = share
+				bestR = r
+				found = true
+			}
+		}
+		if !found {
+			return rates
+		}
+		// Freeze every unfrozen flow crossing the bottleneck.
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			crosses := false
+			for _, r := range f.Via {
+				if r == bestR {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			rates[i] = best
+			frozen[i] = true
+			for _, r := range f.Via {
+				residual[r] -= best
+				if residual[r] < 0 {
+					residual[r] = 0
+				}
+				users[r]--
+			}
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package phy
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lightpath/internal/rng"
+	"lightpath/internal/unit"
+)
+
+func TestDefaultBudgetEvaluateFeasible(t *testing.T) {
+	b := DefaultBudget()
+	m := NewLossModel(nil)
+	// A short intra-wafer circuit: two couplings, 4 MZIs, 6 crossings,
+	// 4 cm of waveguide, one stitch.
+	elems := []LossElement{
+		m.Coupling(), m.Coupling(),
+		m.MZIPass(), m.MZIPass(), m.MZIPass(), m.MZIPass(),
+		m.Crossing(), m.Crossing(), m.Crossing(), m.Crossing(), m.Crossing(), m.Crossing(),
+		m.Propagation(4 * unit.Centimeter),
+		m.Stitch(),
+	}
+	rep := b.Evaluate(elems)
+	if !rep.Feasible {
+		t.Fatalf("typical intra-wafer circuit infeasible: %v", rep)
+	}
+	if rep.BER > 1e-12 {
+		t.Fatalf("BER = %v, want <= 1e-12 at positive margin", rep.BER)
+	}
+	wantLoss := 2*1.5 + 4*0.5 + 6*0.25 + 4*0.1 + 0.25
+	if math.Abs(float64(rep.TotalLossDB)-wantLoss) > 1e-9 {
+		t.Fatalf("total loss = %v, want %v", rep.TotalLossDB, wantLoss)
+	}
+}
+
+func TestEvaluateInfeasibleWhenLossExceedsBudget(t *testing.T) {
+	b := DefaultBudget()
+	m := NewLossModel(nil)
+	var elems []LossElement
+	for i := 0; i < 200; i++ { // 50 dB of crossings
+		elems = append(elems, m.Crossing())
+	}
+	rep := b.Evaluate(elems)
+	if rep.Feasible {
+		t.Fatalf("50dB loss circuit reported feasible: %v", rep)
+	}
+	if rep.MarginDB >= 0 {
+		t.Fatalf("margin = %v, want negative", rep.MarginDB)
+	}
+	if !strings.Contains(rep.String(), "INFEASIBLE") {
+		t.Fatalf("report string = %q, want INFEASIBLE marker", rep.String())
+	}
+}
+
+func TestMaxCrossings(t *testing.T) {
+	b := DefaultBudget()
+	// Budget: 10 - (-17) - 3 = 24 dB. With 4 dB fixed, 20 dB remain:
+	// 80 crossings at 0.25 dB.
+	if got := b.MaxCrossings(4, CrossingLossDB); got != 80 {
+		t.Fatalf("MaxCrossings = %d, want 80", got)
+	}
+	// No headroom at all.
+	if got := b.MaxCrossings(24, CrossingLossDB); got != 0 {
+		t.Fatalf("MaxCrossings at zero headroom = %d, want 0", got)
+	}
+	if got := b.MaxCrossings(100, CrossingLossDB); got != 0 {
+		t.Fatalf("MaxCrossings with negative headroom = %d, want 0", got)
+	}
+}
+
+func TestMaxCrossingsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxCrossings with zero crossing loss did not panic")
+		}
+	}()
+	DefaultBudget().MaxCrossings(0, 0)
+}
+
+// TestCrossTileRoutingFeasible captures the paper's §3 claim: "The
+// low-loss (0.25dB) optical crossings enable routing within the same
+// active silicon device layer." A circuit crossing the full 8-tile
+// width of a wafer (tens of crossings, two stitch boundaries, like the
+// A-to-B example crossing two tile boundaries) must close the budget.
+func TestCrossTileRoutingFeasible(t *testing.T) {
+	b := DefaultBudget()
+	m := NewLossModel(rng.New(77).Split("budget"))
+	elems := []LossElement{m.Coupling(), m.Coupling()}
+	// Full wafer traversal: 8 tiles of 25 mm = 20 cm... too lossy for
+	// 1 dB/cm; realistic circuits traverse a few tiles. Model the
+	// paper's Figure 3 circuit: 2 tile boundaries (2 stitches), ~5 cm
+	// of waveguide, 8 MZIs, 12 crossings.
+	elems = append(elems, m.Stitch(), m.Stitch())
+	elems = append(elems, m.Propagation(5*unit.Centimeter))
+	for i := 0; i < 8; i++ {
+		elems = append(elems, m.MZIPass())
+	}
+	for i := 0; i < 12; i++ {
+		elems = append(elems, m.Crossing())
+	}
+	rep := b.Evaluate(elems)
+	if !rep.Feasible {
+		t.Fatalf("two-tile-boundary circuit infeasible: %v", rep)
+	}
+}
+
+// Property (DESIGN.md invariant): BER is monotone non-increasing in
+// received power.
+func TestBERMonotoneInPower(t *testing.T) {
+	sens := unit.DBm(-17)
+	prev := 1.0
+	for rx := -30.0; rx <= 10; rx += 0.5 {
+		ber := BERForReceivedPower(unit.DBm(rx), sens)
+		if ber > prev+1e-18 {
+			t.Fatalf("BER increased with power at %v dBm: %v > %v", rx, ber, prev)
+		}
+		if ber < 0 || ber > 0.5 {
+			t.Fatalf("BER out of range at %v dBm: %v", rx, ber)
+		}
+		prev = ber
+	}
+}
+
+func TestBERAtSensitivityIsReference(t *testing.T) {
+	sens := unit.DBm(-17)
+	ber := BERForReceivedPower(sens, sens)
+	// At the sensitivity point, Q = 7.034, BER ~ 1e-12.
+	if ber < 1e-13 || ber > 1e-11 {
+		t.Fatalf("BER at sensitivity = %v, want ~1e-12", ber)
+	}
+}
+
+func TestWavelengthCapacityHeadline(t *testing.T) {
+	// Paper §3: "One wavelength can sustain up to 224 Gbps bandwidth".
+	if WavelengthCapacity != 224*unit.Gbps {
+		t.Fatalf("WavelengthCapacity = %v, want 224 Gbps", WavelengthCapacity)
+	}
+}
+
+func TestLinkReportString(t *testing.T) {
+	rep := DefaultBudget().Evaluate([]LossElement{{Kind: LossCrossing, DB: 1}})
+	s := rep.String()
+	if !strings.Contains(s, "feasible") || !strings.Contains(s, "loss=1.00dB") {
+		t.Fatalf("report string = %q", s)
+	}
+}
+
+func TestWaterfall(t *testing.T) {
+	sens := unit.DBm(-17)
+	points := Waterfall(sens, -20, -14, 1)
+	if len(points) != 7 {
+		t.Fatalf("points = %d, want 7", len(points))
+	}
+	if points[0].Rx != -20 || points[len(points)-1].Rx != -14 {
+		t.Fatalf("range = [%v, %v]", points[0].Rx, points[len(points)-1].Rx)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].BER > points[i-1].BER {
+			t.Fatal("waterfall not monotone")
+		}
+	}
+}
+
+func TestWaterfallPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero step":      func() { Waterfall(-17, -20, -14, 0) },
+		"inverted range": func() { Waterfall(-17, -14, -20, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestExtinctionPenalty(t *testing.T) {
+	// 10 dB extinction: r=10, penalty = 10*log10(11/9) ~= 0.872 dB.
+	got := ExtinctionPenaltyDB(10)
+	if math.Abs(float64(got)-0.872) > 0.005 {
+		t.Fatalf("penalty(10dB) = %v, want ~0.872", got)
+	}
+	// Better extinction, smaller penalty; 25 dB (the default MZI) is
+	// almost free.
+	if p25 := ExtinctionPenaltyDB(DefaultExtinctionDB); p25 >= got || p25 > 0.05 {
+		t.Fatalf("penalty(25dB) = %v", p25)
+	}
+	// Monotone decreasing in extinction.
+	prev := unit.Decibel(1e9)
+	for ext := unit.Decibel(3); ext <= 30; ext++ {
+		p := ExtinctionPenaltyDB(ext)
+		if p >= prev {
+			t.Fatalf("penalty not decreasing at %v dB", ext)
+		}
+		prev = p
+	}
+}
+
+func TestExtinctionPenaltyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("0 dB extinction did not panic")
+		}
+	}()
+	ExtinctionPenaltyDB(0)
+}
+
+func TestBERWithExtinction(t *testing.T) {
+	sens := unit.DBm(-17)
+	rx := unit.DBm(-15)
+	ideal := BERForReceivedPower(rx, sens)
+	with := BERWithExtinction(rx, sens, 10)
+	if with <= ideal {
+		t.Fatalf("extinction-limited BER %v should exceed ideal %v", with, ideal)
+	}
+	// High extinction converges to the ideal.
+	near := BERWithExtinction(rx, sens, 40)
+	if rel := math.Abs(near-ideal) / ideal; rel > 0.2 {
+		t.Fatalf("40dB extinction BER off by %v", rel)
+	}
+}

@@ -1,0 +1,204 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds matched %d/100 outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	a := parent.Split("loss")
+	b := parent.Split("workload")
+	c := parent.Split("loss")
+	// Same label twice: identical stream.
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != c.Uint64() {
+			t.Fatalf("same-label splits diverged at step %d", i)
+		}
+	}
+	// Different labels: streams differ.
+	a2 := parent.Split("loss")
+	diff := false
+	for i := 0; i < 100; i++ {
+		if a2.Uint64() != b.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different-label splits produced identical streams")
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	p1 := New(9)
+	p2 := New(9)
+	_ = p1.Split("x")
+	_ = p1.Split("y")
+	for i := 0; i < 10; i++ {
+		if p1.Uint64() != p2.Uint64() {
+			t.Fatal("Split advanced the parent stream")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(5)
+	const n, buckets = 100000, 10
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	for b, c := range counts {
+		expected := float64(n) / buckets
+		if math.Abs(float64(c)-expected) > 5*math.Sqrt(expected) {
+			t.Errorf("bucket %d: count %d far from expected %.0f", b, c, expected)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(2.5, 0.5)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-2.5) > 0.01 {
+		t.Errorf("normal mean = %v, want ~2.5", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-0.5) > 0.01 {
+		t.Errorf("normal stddev = %v, want ~0.5", math.Sqrt(variance))
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(8)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(3.0)
+		if v < 0 {
+			t.Fatalf("exponential sample negative: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-3.0) > 0.05 {
+		t.Fatalf("exp mean = %v, want ~3.0", mean)
+	}
+}
+
+func TestExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(10)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(50)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := New(11)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	sum2 := 0
+	for _, v := range s {
+		sum2 += v
+	}
+	if sum != sum2 {
+		t.Fatalf("shuffle changed elements: %v", s)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}

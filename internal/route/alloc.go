@@ -1,0 +1,499 @@
+package route
+
+import (
+	"errors"
+	"fmt"
+
+	"lightpath/internal/phy"
+	"lightpath/internal/rng"
+	"lightpath/internal/unit"
+	"lightpath/internal/wafer"
+)
+
+// ErrNoPath reports that no feasible, resource-disjoint path exists
+// for a circuit request.
+var ErrNoPath = errors.New("route: no feasible circuit path")
+
+// Allocator establishes circuits with a global view of the rack's
+// waveguide and fiber occupancy (the "centralized controller" of the
+// paper's §5).
+type Allocator struct {
+	rack *wafer.Rack
+	loss *phy.LossModel
+	// Budget is the optical link budget circuits are checked against
+	// when CheckBudget is set.
+	Budget phy.Budget
+	// CheckBudget rejects circuits whose optical loss exceeds the
+	// budget.
+	CheckBudget bool
+	// PackFibers selects trunk rows that are already partially used
+	// before opening fresh rows, keeping whole rows free as spares
+	// for fault tolerance (§5, "Minimizing fiber requirement for
+	// fault tolerance"). When false, the row matching the source tile
+	// is preferred (shortest path).
+	PackFibers bool
+
+	circuits map[int]*Circuit
+	nextID   int
+	// fibersUsed mirrors the rack's fiber occupancy per (trunk, row)
+	// so the packing heuristic can rank rows cheaply.
+	fibersUsed map[fiberRowKey]int
+	// failedRows marks trunk rows taken out by fiber failures.
+	failedRows map[fiberRowKey]bool
+}
+
+type fiberRowKey struct{ trunk, row int }
+
+// NewAllocator builds a centralized allocator over the rack. The
+// stochastic stitch losses draw from r; a nil r uses mean losses.
+func NewAllocator(rack *wafer.Rack, r *rng.Rand) *Allocator {
+	return &Allocator{
+		rack:       rack,
+		loss:       phy.NewLossModel(r),
+		Budget:     phy.DefaultBudget(),
+		circuits:   make(map[int]*Circuit),
+		fibersUsed: make(map[fiberRowKey]int),
+	}
+}
+
+// trackFiber updates the occupancy mirror by delta (+1 on allocate,
+// -1 on free).
+func (a *Allocator) trackFiber(ref wafer.FiberRef, delta int) {
+	a.fibersUsed[fiberRowKey{trunk: ref.Trunk, row: ref.Row}] += delta
+}
+
+// Rack returns the underlying hardware.
+func (a *Allocator) Rack() *wafer.Rack { return a.rack }
+
+// Circuits returns the currently established circuits in ID order.
+func (a *Allocator) Circuits() []*Circuit {
+	out := make([]*Circuit, 0, len(a.circuits))
+	for id := 0; id < a.nextID; id++ {
+		if c, ok := a.circuits[id]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// planStep is one bus span a candidate path wants.
+type planStep struct {
+	wafer int
+	o     wafer.Orient
+	lane  int
+	span  wafer.Interval
+}
+
+// plan is a fully specified candidate path.
+type plan struct {
+	steps    []planStep
+	trunks   []int // trunk indices crossed, ascending
+	fiberRow int   // tile row used for every fiber hop
+	turns    int
+}
+
+// span builds an interval from two positions in either order.
+func span(a, b int) wafer.Interval {
+	if a <= b {
+		return wafer.Interval{Lo: a, Hi: b}
+	}
+	return wafer.Interval{Lo: b, Hi: a}
+}
+
+// intraWaferSteps plans the path from (r1,c1) to (r2,c2) on one wafer.
+// hFirst selects the horizontal-then-vertical L; otherwise
+// vertical-then-horizontal.
+func intraWaferSteps(w, r1, c1, r2, c2 int, hFirst bool) []planStep {
+	var steps []planStep
+	if hFirst {
+		if c1 != c2 {
+			steps = append(steps, planStep{wafer: w, o: wafer.Horizontal, lane: r1, span: span(c1, c2)})
+		}
+		if r1 != r2 {
+			steps = append(steps, planStep{wafer: w, o: wafer.Vertical, lane: c2, span: span(r1, r2)})
+		}
+	} else {
+		if r1 != r2 {
+			steps = append(steps, planStep{wafer: w, o: wafer.Vertical, lane: c1, span: span(r1, r2)})
+		}
+		if c1 != c2 {
+			steps = append(steps, planStep{wafer: w, o: wafer.Horizontal, lane: r2, span: span(c1, c2)})
+		}
+	}
+	return steps
+}
+
+// candidatePlans enumerates paths between two chips in preference
+// order: for each candidate fiber row (same-wafer circuits have none),
+// the horizontal-first and vertical-first L-shapes.
+func (a *Allocator) candidatePlans(chipA, chipB int) []plan {
+	cfg := a.rack.Config()
+	wA, rA, cA := a.rack.Place(chipA)
+	wB, rB, cB := a.rack.Place(chipB)
+	if wA > wB {
+		wA, rA, cA, wB, rB, cB = wB, rB, cB, wA, rA, cA
+	}
+
+	var plans []plan
+	if wA == wB {
+		for _, hFirst := range [2]bool{true, false} {
+			p := plan{steps: intraWaferSteps(wA, rA, cA, rB, cB, hFirst), fiberRow: -1}
+			p.turns = maxInt(0, len(p.steps)-1)
+			plans = append(plans, p)
+		}
+		// Z-shaped detours: when both L variants are blocked by bus
+		// exhaustion, route via an intermediate column (H-V-H) or row
+		// (V-H-V). The photonic mesh's path diversity is the point of
+		// Figure 4's 10,000 waveguides.
+		for cm := 0; cm < cfg.Cols; cm++ {
+			if cm == cA || cm == cB || rA == rB {
+				continue
+			}
+			p := plan{fiberRow: -1}
+			p.steps = append(p.steps, planStep{wafer: wA, o: wafer.Horizontal, lane: rA, span: span(cA, cm)})
+			p.steps = append(p.steps, planStep{wafer: wA, o: wafer.Vertical, lane: cm, span: span(rA, rB)})
+			p.steps = append(p.steps, planStep{wafer: wA, o: wafer.Horizontal, lane: rB, span: span(cm, cB)})
+			p.turns = 2
+			plans = append(plans, p)
+		}
+		for rm := 0; rm < cfg.Rows; rm++ {
+			if rm == rA || rm == rB || cA == cB {
+				continue
+			}
+			p := plan{fiberRow: -1}
+			p.steps = append(p.steps, planStep{wafer: wA, o: wafer.Vertical, lane: cA, span: span(rA, rm)})
+			p.steps = append(p.steps, planStep{wafer: wA, o: wafer.Horizontal, lane: rm, span: span(cA, cB)})
+			p.steps = append(p.steps, planStep{wafer: wA, o: wafer.Vertical, lane: cB, span: span(rm, rB)})
+			p.turns = 2
+			plans = append(plans, p)
+		}
+		return plans
+	}
+
+	// Enumerate cascade directions: clockwise always; the ring
+	// topology also offers the counterclockwise way around, which is
+	// shorter when the wafers are more than half the cascade apart.
+	nw := a.rack.NumWafers()
+	type direction struct {
+		trunks            []int
+		inters            []int // intermediate wafers in path order
+		exitCol, enterCol int   // source exit / destination entry columns
+	}
+	var dirs []direction
+	cw := direction{exitCol: cfg.Cols - 1, enterCol: 0}
+	for t := wA; t != wB; t = (t + 1) % nw {
+		cw.trunks = append(cw.trunks, t)
+		if next := (t + 1) % nw; next != wB {
+			cw.inters = append(cw.inters, next)
+		}
+	}
+	dirs = append(dirs, cw)
+	if a.rack.Topology() == wafer.RingTopology && nw >= 2 {
+		ccw := direction{exitCol: 0, enterCol: cfg.Cols - 1}
+		for w := wA; w != wB; w = (w - 1 + nw) % nw {
+			ccw.trunks = append(ccw.trunks, (w-1+nw)%nw)
+			if prev := (w - 1 + nw) % nw; prev != wB {
+				ccw.inters = append(ccw.inters, prev)
+			}
+		}
+		dirs = append(dirs, ccw)
+		if len(ccw.trunks) < len(cw.trunks) {
+			dirs[0], dirs[1] = dirs[1], dirs[0]
+		}
+	}
+
+	for _, dir := range dirs {
+		for _, row := range a.fiberRowOrder(rA, wA, wB) {
+			if !a.rowUsable(row, dir.trunks) {
+				continue
+			}
+			for _, hFirst := range [2]bool{true, false} {
+				var p plan
+				p.fiberRow = row
+				// Source wafer: to the exit edge at the fiber row.
+				p.steps = append(p.steps, intraWaferSteps(wA, rA, cA, row, dir.exitCol, hFirst)...)
+				// Intermediate wafers: straight across the fiber row.
+				for _, w := range dir.inters {
+					p.steps = append(p.steps, planStep{wafer: w, o: wafer.Horizontal, lane: row, span: wafer.Interval{Lo: 0, Hi: cfg.Cols - 1}})
+				}
+				// Destination wafer: from the entry edge.
+				p.steps = append(p.steps, intraWaferSteps(wB, row, dir.enterCol, rB, cB, hFirst)...)
+				p.trunks = append(p.trunks, dir.trunks...)
+				p.turns = maxInt(0, len(p.steps)-1)
+				plans = append(plans, p)
+			}
+		}
+	}
+	return plans
+}
+
+// fiberRowOrder returns candidate trunk rows in preference order.
+func (a *Allocator) fiberRowOrder(srcRow, wA, wB int) []int {
+	cfg := a.rack.Config()
+	rows := make([]int, 0, cfg.Rows)
+	if a.PackFibers {
+		// Most-used non-full rows first (pack), then the rest.
+		type rowUse struct{ row, used, free int }
+		var uses []rowUse
+		for row := 0; row < cfg.Rows; row++ {
+			used, free := a.fiberRowOccupancy(row, wA, wB)
+			uses = append(uses, rowUse{row: row, used: used, free: free})
+		}
+		for {
+			best := -1
+			for i, u := range uses {
+				if u.row < 0 || u.free == 0 {
+					continue
+				}
+				if best < 0 || u.used > uses[best].used {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			rows = append(rows, uses[best].row)
+			uses[best].row = -1
+		}
+		return rows
+	}
+	// Shortest-path preference: the source row first, then the rest.
+	rows = append(rows, srcRow)
+	for row := 0; row < cfg.Rows; row++ {
+		if row != srcRow {
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// fiberRowOccupancy reports how many fibers of the row are used and
+// free across the trunks the path must cross, taking the minimum free
+// across trunks (every trunk needs one).
+func (a *Allocator) fiberRowOccupancy(row, wA, wB int) (used, free int) {
+	cfg := a.rack.Config()
+	free = cfg.FibersPerEdge
+	for tr := wA; tr < wB; tr++ {
+		u := a.fibersUsed[fiberRowKey{trunk: tr, row: row}]
+		used += u
+		if f := cfg.FibersPerEdge - u; f < free {
+			free = f
+		}
+	}
+	return used, free
+}
+
+// Request asks for a circuit between two chips at a given wavelength
+// width.
+type Request struct {
+	A, B  int
+	Width int
+}
+
+// Establish finds a path for the request, atomically allocates its
+// buses, fibers and endpoint resources, programs the switches, and
+// returns the circuit. On any failure everything is rolled back and
+// ErrNoPath (or a budget error) is returned.
+func (a *Allocator) Establish(req Request, now unit.Seconds) (*Circuit, error) {
+	if req.A == req.B {
+		return nil, fmt.Errorf("route: circuit endpoints are the same chip %d", req.A)
+	}
+	if req.Width <= 0 {
+		return nil, fmt.Errorf("route: non-positive width %d", req.Width)
+	}
+	plans := a.candidatePlans(req.A, req.B)
+	var lastErr error = ErrNoPath
+	for _, p := range plans {
+		c, err := a.commit(req, p, now)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w: chips %d<->%d: %v", ErrNoPath, req.A, req.B, lastErr)
+}
+
+// commit attempts to allocate everything a plan needs, rolling back on
+// failure.
+func (a *Allocator) commit(req Request, p plan, now unit.Seconds) (c *Circuit, err error) {
+	var segs []Segment
+	var fibers []wafer.FiberRef
+	reservedA, reservedB := false, false
+	defer func() {
+		if err == nil {
+			return
+		}
+		for _, s := range segs {
+			a.rack.Wafer(s.Wafer).FreeBus(s.Ref)
+		}
+		for _, f := range fibers {
+			a.rack.FreeFiber(f)
+			a.trackFiber(f, -1)
+		}
+		if reservedA {
+			a.releaseEndpoint(req.A, req.Width)
+		}
+		if reservedB {
+			a.releaseEndpoint(req.B, req.Width)
+		}
+	}()
+
+	for _, st := range p.steps {
+		ref, aerr := a.rack.Wafer(st.wafer).AllocBus(st.o, st.lane, st.span)
+		if aerr != nil {
+			return nil, aerr
+		}
+		segs = append(segs, Segment{Wafer: st.wafer, Ref: ref})
+	}
+	for _, tr := range p.trunks {
+		ref, aerr := a.rack.AllocFiber(tr, p.fiberRow)
+		if aerr != nil {
+			return nil, aerr
+		}
+		fibers = append(fibers, ref)
+		a.trackFiber(ref, +1)
+	}
+	if err = a.reserveEndpoint(req.A, req.Width); err != nil {
+		return nil, err
+	}
+	reservedA = true
+	if err = a.reserveEndpoint(req.B, req.Width); err != nil {
+		return nil, err
+	}
+	reservedB = true
+
+	link := a.evaluate(p, segs, fibers)
+	if a.CheckBudget && !link.Feasible {
+		return nil, fmt.Errorf("route: circuit %d<->%d infeasible: %v", req.A, req.B, link)
+	}
+
+	a.programSwitches(req, p, now)
+	c = &Circuit{
+		ID:            a.nextID,
+		A:             req.A,
+		B:             req.B,
+		Width:         req.Width,
+		Segments:      segs,
+		Fibers:        fibers,
+		EstablishedAt: now,
+		ReadyAt:       now + phy.ReconfigLatency,
+		Link:          link,
+	}
+	a.nextID++
+	a.circuits[c.ID] = c
+	return c, nil
+}
+
+// Release tears down a circuit and returns its resources.
+func (a *Allocator) Release(c *Circuit) {
+	if _, ok := a.circuits[c.ID]; !ok {
+		panic(fmt.Sprintf("route: release of unknown circuit %d", c.ID))
+	}
+	delete(a.circuits, c.ID)
+	for _, s := range c.Segments {
+		a.rack.Wafer(s.Wafer).FreeBus(s.Ref)
+	}
+	for _, f := range c.Fibers {
+		a.rack.FreeFiber(f)
+		a.trackFiber(f, -1)
+	}
+	a.releaseEndpoint(c.A, c.Width)
+	a.releaseEndpoint(c.B, c.Width)
+}
+
+// evaluate computes the circuit's optical budget: couplings at the
+// endpoints, two MZI stages per switch traversed (endpoints plus one
+// switch per turn), one crossing per pass-through tile and per turn
+// (the signal crosses the orthogonal bus bundle), one reticle stitch
+// per tile boundary, propagation over the Manhattan length, and one
+// loss element per fiber hop.
+func (a *Allocator) evaluate(p plan, segs []Segment, fibers []wafer.FiberRef) phy.LinkReport {
+	cfg := a.rack.Config()
+	var elems []phy.LossElement
+	elems = append(elems, a.loss.Coupling(), a.loss.Coupling())
+	switches := 2 + p.turns
+	for i := 0; i < switches; i++ {
+		elems = append(elems, a.loss.MZIPass(), a.loss.MZIPass())
+	}
+	for _, s := range segs {
+		length := s.Ref.Span.Hi - s.Ref.Span.Lo
+		for b := 0; b < length; b++ {
+			elems = append(elems, a.loss.Stitch())
+		}
+		if through := length - 1; through > 0 {
+			for t := 0; t < through; t++ {
+				elems = append(elems, a.loss.Crossing())
+			}
+		}
+		elems = append(elems, a.loss.Propagation(unit.Meters(length)*cfg.TileEdge))
+	}
+	for t := 0; t < p.turns; t++ {
+		elems = append(elems, a.loss.Crossing())
+	}
+	for range fibers {
+		elems = append(elems, a.loss.FiberHop())
+	}
+	return a.Budget.Evaluate(elems)
+}
+
+// programSwitches drives the endpoint tiles' MZI switches toward the
+// circuit's first bus. The concrete port assignment is cosmetic for
+// the simulation; what matters is that the settle clock starts, making
+// ReadyAt = now + 3.7 us observable hardware state.
+func (a *Allocator) programSwitches(req Request, p plan, now unit.Seconds) {
+	for _, chip := range [2]int{req.A, req.B} {
+		tile := a.rack.TileOf(chip)
+		// Switch 0 faces the Tx/Rx block; route it to the bus.
+		_ = tile.Switches[0].Program(0, now)
+	}
+	for i := range p.steps {
+		if i == 0 {
+			continue
+		}
+		// The turn happens at the tile where step i-1 ends and step i
+		// begins; program one switch there.
+		st := p.steps[i]
+		var row, col int
+		if st.o == wafer.Horizontal {
+			row = st.lane
+			col = clampToSpan(p.steps[i-1], st)
+		} else {
+			col = st.lane
+			row = clampToSpan(p.steps[i-1], st)
+		}
+		tile := a.rack.Wafer(st.wafer).Tile(row, col)
+		_ = tile.Switches[1].Program(1, now)
+	}
+}
+
+// clampToSpan picks the junction coordinate between two consecutive
+// steps; when the steps are on different wafers (a fiber hop) the
+// junction is the new span's entry edge.
+func clampToSpan(prev, cur planStep) int {
+	if prev.wafer != cur.wafer {
+		return cur.span.Lo
+	}
+	// The previous step's lane is a position along the current span.
+	if prev.lane < cur.span.Lo {
+		return cur.span.Lo
+	}
+	if prev.lane > cur.span.Hi {
+		return cur.span.Hi
+	}
+	return prev.lane
+}
+
+func (a *Allocator) reserveEndpoint(chip, width int) error {
+	return a.rack.TileOf(chip).Reserve(width)
+}
+
+func (a *Allocator) releaseEndpoint(chip, width int) {
+	a.rack.TileOf(chip).Release(width)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

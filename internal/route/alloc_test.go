@@ -1,0 +1,402 @@
+package route
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"lightpath/internal/phy"
+	"lightpath/internal/rng"
+	"lightpath/internal/unit"
+	"lightpath/internal/wafer"
+)
+
+// twoWaferRack builds the canonical TPU-rack hardware: 64 chips over
+// two 32-tile wafers.
+func twoWaferRack(t *testing.T) *wafer.Rack {
+	t.Helper()
+	r, err := wafer.NewRack(wafer.DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestEstablishSameWafer(t *testing.T) {
+	rack := twoWaferRack(t)
+	a := NewAllocator(rack, rng.New(1))
+	// Chip 0 = wafer 0 (0,0); chip 11 = wafer 0 (1,3).
+	c, err := a.Establish(Request{A: 0, B: 11, Width: 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Fibers) != 0 {
+		t.Fatalf("same-wafer circuit used fibers: %v", c.Fibers)
+	}
+	if len(c.Segments) != 2 {
+		t.Fatalf("L-path segments = %d, want 2", len(c.Segments))
+	}
+	if c.ReadyAt != phy.ReconfigLatency {
+		t.Fatalf("ready at %v, want %v", c.ReadyAt, phy.ReconfigLatency)
+	}
+	if bw := c.Bandwidth(rack.Config().WavelengthCapacity); bw != 4*224*unit.Gbps {
+		t.Fatalf("bandwidth = %v", bw)
+	}
+	if !c.Link.Feasible {
+		t.Fatalf("intra-wafer circuit infeasible: %v", c.Link)
+	}
+}
+
+func TestEstablishSameRowSingleSegment(t *testing.T) {
+	rack := twoWaferRack(t)
+	a := NewAllocator(rack, rng.New(1))
+	// Chips 0 and 7: wafer 0, row 0, cols 0 and 7.
+	c, err := a.Establish(Request{A: 0, B: 7, Width: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Segments) != 1 {
+		t.Fatalf("same-row segments = %d, want 1", len(c.Segments))
+	}
+	seg := c.Segments[0]
+	if seg.Ref.Orient != wafer.Horizontal || seg.Ref.Span != (wafer.Interval{Lo: 0, Hi: 7}) {
+		t.Fatalf("segment = %v", seg)
+	}
+}
+
+func TestEstablishCrossWafer(t *testing.T) {
+	rack := twoWaferRack(t)
+	a := NewAllocator(rack, rng.New(1))
+	// Chip 0 (wafer 0) to chip 63 (wafer 1, tile 31 = row 3, col 7).
+	c, err := a.Establish(Request{A: 0, B: 63, Width: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Fibers) != 1 {
+		t.Fatalf("cross-wafer fibers = %d, want 1", len(c.Fibers))
+	}
+	if !c.Link.Feasible {
+		t.Fatalf("cross-wafer circuit infeasible: %v", c.Link)
+	}
+	// Fiber loss appears in the breakdown.
+	if c.Link.ByKind[phy.LossFiber] == 0 {
+		t.Fatal("no fiber loss accounted")
+	}
+}
+
+func TestEstablishValidation(t *testing.T) {
+	rack := twoWaferRack(t)
+	a := NewAllocator(rack, nil)
+	if _, err := a.Establish(Request{A: 3, B: 3, Width: 1}, 0); err == nil {
+		t.Error("self-circuit accepted")
+	}
+	if _, err := a.Establish(Request{A: 0, B: 1, Width: 0}, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+// TestCircuitsDisjoint is the DESIGN.md invariant: no two established
+// circuits share a waveguide segment or fiber.
+func TestCircuitsDisjoint(t *testing.T) {
+	rack := twoWaferRack(t)
+	a := NewAllocator(rack, rng.New(2))
+	var reqs []Request
+	// Dense all-pairs-ish load: chip i to chip (i+13)%64.
+	for i := 0; i < 32; i++ {
+		reqs = append(reqs, Request{A: i, B: (i + 13) % 64, Width: 1})
+	}
+	out := a.EstablishBatch(reqs, 0)
+	if len(out.Failed) > 0 {
+		t.Fatalf("%d requests failed on an empty rack", len(out.Failed))
+	}
+	cs := out.Circuits
+	for i := range cs {
+		for j := i + 1; j < len(cs); j++ {
+			if cs[i].SharesResources(cs[j]) {
+				t.Fatalf("circuits %d and %d share resources", cs[i].ID, cs[j].ID)
+			}
+		}
+	}
+}
+
+func TestReleaseRestoresResources(t *testing.T) {
+	rack := twoWaferRack(t)
+	a := NewAllocator(rack, rng.New(3))
+	before := rack.TileOf(0).FreeLasers()
+	c, err := a.Establish(Request{A: 0, B: 40, Width: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rack.TileOf(0).FreeLasers() != before-3 {
+		t.Fatal("lasers not reserved")
+	}
+	if rack.FibersInUse() != 1 {
+		t.Fatalf("fibers in use = %d", rack.FibersInUse())
+	}
+	a.Release(c)
+	if rack.TileOf(0).FreeLasers() != before {
+		t.Fatal("lasers not released")
+	}
+	if rack.FibersInUse() != 0 {
+		t.Fatal("fiber not released")
+	}
+	h, v := rack.Wafer(0).BusesInUse()
+	if h+v != 0 {
+		t.Fatalf("buses still in use: %d/%d", h, v)
+	}
+	if len(a.Circuits()) != 0 {
+		t.Fatal("circuit still tracked")
+	}
+}
+
+func TestReleasePanicsOnUnknown(t *testing.T) {
+	rack := twoWaferRack(t)
+	a := NewAllocator(rack, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release of unknown circuit did not panic")
+		}
+	}()
+	a.Release(&Circuit{ID: 99})
+}
+
+func TestLaserExhaustionFailsCleanly(t *testing.T) {
+	cfg := wafer.DefaultConfig()
+	cfg.LasersPerTile = 2
+	rack, err := wafer.NewRack(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAllocator(rack, nil)
+	if _, err := a.Establish(Request{A: 0, B: 5, Width: 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Chip 0 has no lasers left.
+	if _, err := a.Establish(Request{A: 0, B: 9, Width: 1}, 0); !errors.Is(err, ErrNoPath) {
+		t.Fatalf("err = %v, want ErrNoPath", err)
+	}
+	// Resources of the failed attempt were rolled back: chips not
+	// involved in the exhausted endpoints can still connect.
+	if _, err := a.Establish(Request{A: 9, B: 3, Width: 1}, 0); err != nil {
+		t.Fatalf("post-rollback establish: %v", err)
+	}
+}
+
+func TestBudgetCheckRejectsLossyCircuits(t *testing.T) {
+	rack := twoWaferRack(t)
+	a := NewAllocator(rack, rng.New(5))
+	a.CheckBudget = true
+	// Cripple the budget so every circuit is infeasible.
+	a.Budget = phy.Budget{LaunchPower: -50, ReceiverSensitivity: -17, Margin: 3}
+	if _, err := a.Establish(Request{A: 0, B: 11, Width: 1}, 0); err == nil {
+		t.Fatal("infeasible circuit accepted")
+	}
+	// Rolled back fully.
+	h, v := rack.Wafer(0).BusesInUse()
+	if h+v != 0 {
+		t.Fatal("budget-rejected circuit leaked buses")
+	}
+}
+
+func TestCircuitLossScalesWithDistance(t *testing.T) {
+	rack := twoWaferRack(t)
+	a := NewAllocator(rack, nil) // mean losses, deterministic
+	near, err := a.Establish(Request{A: 0, B: 1, Width: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := a.Establish(Request{A: 8, B: 63, Width: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.Link.TotalLossDB <= near.Link.TotalLossDB {
+		t.Fatalf("far loss %v <= near loss %v", far.Link.TotalLossDB, near.Link.TotalLossDB)
+	}
+}
+
+func TestFiberRowFallback(t *testing.T) {
+	cfg := wafer.DefaultConfig()
+	cfg.FibersPerEdge = 1
+	rack, err := wafer.NewRack(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAllocator(rack, rng.New(7))
+	// Row 0's single fiber gets used...
+	if _, err := a.Establish(Request{A: 0, B: 32, Width: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// ...so the next row-0 circuit must fall back to another row.
+	c, err := a.Establish(Request{A: 1, B: 33, Width: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fibers[0].Row == 0 {
+		t.Fatal("second circuit reused the exhausted row")
+	}
+}
+
+func TestSwitchesProgrammedOnEstablish(t *testing.T) {
+	rack := twoWaferRack(t)
+	a := NewAllocator(rack, nil)
+	now := unit.Seconds(5)
+	if _, err := a.Establish(Request{A: 0, B: 11, Width: 1}, now); err != nil {
+		t.Fatal(err)
+	}
+	tile := rack.TileOf(0)
+	if got := tile.Switches[0].SettledAt(); got != now+phy.ReconfigLatency {
+		t.Fatalf("endpoint switch settles at %v, want %v", got, now+phy.ReconfigLatency)
+	}
+}
+
+// Property: random circuit batches never violate segment/fiber
+// disjointness, and releasing everything restores a clean rack.
+func TestAllocatorProperty(t *testing.T) {
+	f := func(pairs []struct{ A, B uint8 }, seed uint64) bool {
+		rack, err := wafer.NewRack(wafer.DefaultConfig(), 2)
+		if err != nil {
+			return false
+		}
+		a := NewAllocator(rack, rng.New(seed))
+		var circuits []*Circuit
+		for _, p := range pairs {
+			ca, cb := int(p.A%64), int(p.B%64)
+			if ca == cb {
+				continue
+			}
+			c, err := a.Establish(Request{A: ca, B: cb, Width: 1}, 0)
+			if err != nil {
+				continue // exhaustion is acceptable; leaks are not
+			}
+			circuits = append(circuits, c)
+		}
+		for i := range circuits {
+			for j := i + 1; j < len(circuits); j++ {
+				if circuits[i].SharesResources(circuits[j]) {
+					return false
+				}
+			}
+		}
+		for _, c := range circuits {
+			a.Release(c)
+		}
+		if rack.FibersInUse() != 0 {
+			return false
+		}
+		for w := 0; w < rack.NumWafers(); w++ {
+			h, v := rack.Wafer(w).BusesInUse()
+			if h+v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingTopologyTakesShortWayAround(t *testing.T) {
+	cfg := wafer.DefaultConfig()
+	ring, err := wafer.NewRackTopology(cfg, 4, wafer.RingTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAllocator(ring, rng.New(1))
+	// Wafer 0 chip 0 to wafer 3 chip 96: counterclockwise over the
+	// closing trunk (index 3) is 1 hop instead of 3.
+	c, err := a.Establish(Request{A: 0, B: 96, Width: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Fibers) != 1 {
+		t.Fatalf("ring path fibers = %d, want 1 (short way)", len(c.Fibers))
+	}
+	if c.Fibers[0].Trunk != 3 {
+		t.Fatalf("ring path trunk = %d, want 3 (the closing trunk)", c.Fibers[0].Trunk)
+	}
+}
+
+func TestChainTopologyHasNoShortcut(t *testing.T) {
+	chain, err := wafer.NewRack(wafer.DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAllocator(chain, rng.New(1))
+	c, err := a.Establish(Request{A: 0, B: 96, Width: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Fibers) != 3 {
+		t.Fatalf("chain path fibers = %d, want 3", len(c.Fibers))
+	}
+}
+
+func TestRingReducesWorstCaseLoss(t *testing.T) {
+	cfg := wafer.DefaultConfig()
+	mk := func(topo wafer.Topology) *Circuit {
+		rack, err := wafer.NewRackTopology(cfg, 6, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := NewAllocator(rack, nil) // mean losses: deterministic comparison
+		c, err := a.Establish(Request{A: 0, B: 5 * 32, Width: 1}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	chain := mk(wafer.Chain)
+	ring := mk(wafer.RingTopology)
+	if ring.Link.TotalLossDB >= chain.Link.TotalLossDB {
+		t.Fatalf("ring loss %v >= chain loss %v for distant wafers",
+			ring.Link.TotalLossDB, chain.Link.TotalLossDB)
+	}
+}
+
+func TestRingDisjointnessStillHolds(t *testing.T) {
+	cfg := wafer.DefaultConfig()
+	rack, err := wafer.NewRackTopology(cfg, 4, wafer.RingTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAllocator(rack, rng.New(9))
+	var reqs []Request
+	for i := 0; i < 24; i++ {
+		reqs = append(reqs, Request{A: i, B: (i + 67) % 128, Width: 1})
+	}
+	out := a.EstablishBatch(reqs, 0)
+	if len(out.Failed) != 0 {
+		t.Fatalf("%d failures on an empty ring rack", len(out.Failed))
+	}
+	for i := range out.Circuits {
+		for j := i + 1; j < len(out.Circuits); j++ {
+			if out.Circuits[i].SharesResources(out.Circuits[j]) {
+				t.Fatal("ring circuits share resources")
+			}
+		}
+	}
+}
+
+// Property: circuit loss is monotone in wafer distance along a chain
+// cascade (more trunks, stitches and propagation can only add up).
+func TestLossMonotoneInWaferDistance(t *testing.T) {
+	rack, err := wafer.NewRack(wafer.DefaultConfig(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAllocator(rack, nil) // mean losses
+	var last float64 = -1
+	for w := 1; w < 6; w++ {
+		c, err := a.Establish(Request{A: 0, B: w * 32, Width: 1}, 0)
+		if err != nil {
+			t.Fatalf("wafer %d: %v", w, err)
+		}
+		loss := float64(c.Link.TotalLossDB)
+		if loss <= last {
+			t.Fatalf("loss not increasing at wafer %d: %v <= %v", w, loss, last)
+		}
+		last = loss
+		a.Release(c)
+	}
+}

@@ -1,0 +1,86 @@
+// Package route establishes end-to-end optical circuits on a rack of
+// LIGHTPATH wafers: it finds bus-waveguide paths between chips,
+// allocates the waveguide segments and inter-wafer fibers so that
+// circuits never overlap (the DESIGN.md disjointness invariant and the
+// paper's §4.2 "non-overlapping optical circuits"), programs the MZI
+// switches, and evaluates each circuit's optical link budget.
+//
+// Two allocation regimes are provided, mirroring the paper's §5
+// "Decentralized algorithms" challenge: a centralized allocator with a
+// global view, and a decentralized optimistic allocator in which
+// requests propose paths concurrently and retry on conflict.
+package route
+
+import (
+	"fmt"
+
+	"lightpath/internal/phy"
+	"lightpath/internal/unit"
+	"lightpath/internal/wafer"
+)
+
+// Segment is one allocated bus-waveguide span on a specific wafer.
+type Segment struct {
+	Wafer int
+	Ref   wafer.BusRef
+}
+
+// String formats the segment.
+func (s Segment) String() string {
+	return fmt.Sprintf("wafer %d %s", s.Wafer, s.Ref)
+}
+
+// Circuit is an established bidirectional chip-to-chip optical
+// circuit.
+type Circuit struct {
+	ID int
+	// A and B are the endpoint chips.
+	A, B int
+	// Width is the number of wavelengths carrying the circuit; its
+	// bandwidth is Width x the per-wavelength capacity.
+	Width int
+	// Segments are the allocated bus spans, in path order from A to B.
+	Segments []Segment
+	// Fibers are the allocated inter-wafer fibers, in path order.
+	Fibers []wafer.FiberRef
+	// EstablishedAt is when the MZI programming was issued; ReadyAt is
+	// when all switches have settled (EstablishedAt + 3.7 us).
+	EstablishedAt, ReadyAt unit.Seconds
+	// Link is the circuit's optical budget evaluation.
+	Link phy.LinkReport
+}
+
+// Bandwidth returns the circuit's data rate for the given
+// per-wavelength capacity.
+func (c *Circuit) Bandwidth(perWavelength unit.BitRate) unit.BitRate {
+	return unit.BitRate(c.Width) * perWavelength
+}
+
+// String summarizes the circuit.
+func (c *Circuit) String() string {
+	return fmt.Sprintf("circuit %d: chip %d <-> chip %d, width %d, %d segments, %d fibers, ready %v",
+		c.ID, c.A, c.B, c.Width, len(c.Segments), len(c.Fibers), c.ReadyAt)
+}
+
+// SharesResources reports whether two circuits overlap on any bus
+// segment or fiber — used by tests to assert the disjointness
+// invariant.
+func (c *Circuit) SharesResources(o *Circuit) bool {
+	for _, s := range c.Segments {
+		for _, t := range o.Segments {
+			if s.Wafer == t.Wafer && s.Ref.Orient == t.Ref.Orient &&
+				s.Ref.Lane == t.Ref.Lane && s.Ref.Bus == t.Ref.Bus &&
+				s.Ref.Span.Lo <= t.Ref.Span.Hi && t.Ref.Span.Lo <= s.Ref.Span.Hi {
+				return true
+			}
+		}
+	}
+	for _, f := range c.Fibers {
+		for _, g := range o.Fibers {
+			if f == g {
+				return true
+			}
+		}
+	}
+	return false
+}

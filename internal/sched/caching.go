@@ -1,0 +1,89 @@
+package sched
+
+// CachingPolicy accumulates circuits across phases: it starts from
+// the installed configuration, adds the demand's missing circuits,
+// and evicts least-recently-used circuits only when a chip's port
+// budget overflows. On periodic traffic (pipeline-parallel training,
+// recurring expert routings) the cache converges to the union of the
+// patterns and reconfiguration stops entirely — the §5 insight that
+// dynamic traffic does not necessarily mean dynamic circuits.
+type CachingPolicy struct {
+	P Params
+
+	clock   int
+	lastUse map[[2]int]int
+}
+
+// NewCachingPolicy builds the policy.
+func NewCachingPolicy(p Params) *CachingPolicy {
+	return &CachingPolicy{P: p, lastUse: make(map[[2]int]int)}
+}
+
+// Name implements Policy.
+func (c *CachingPolicy) Name() string { return "caching-lru" }
+
+// Next implements Policy.
+func (c *CachingPolicy) Next(current Config, d Demand) Config {
+	c.clock++
+	needed := make(map[[2]int]bool)
+	for _, pr := range d.Pairs {
+		if pr.Src == pr.Dst {
+			continue
+		}
+		needed[norm(pr.Src, pr.Dst)] = true
+	}
+
+	// Union of installed and needed circuits.
+	next := NewConfig()
+	for e := range current.edges {
+		next.edges[e] = true
+	}
+	for e := range needed {
+		next.edges[e] = true
+		c.lastUse[e] = c.clock
+	}
+
+	// Evict LRU non-needed circuits until every chip fits its ports.
+	if c.P.PortLimit > 0 {
+		for {
+			over := overloadedChip(next, c.P.PortLimit)
+			if over < 0 {
+				break
+			}
+			victim, found := [2]int{}, false
+			oldest := c.clock + 1
+			for e := range next.edges {
+				if needed[e] || (e[0] != over && e[1] != over) {
+					continue
+				}
+				if use := c.lastUse[e]; use < oldest {
+					oldest, victim, found = use, e, true
+				}
+			}
+			if !found {
+				// Every circuit at the chip is needed this phase; the
+				// demand itself saturates the ports. Fall back to the
+				// bare demand.
+				return DemandConfig(d)
+			}
+			delete(next.edges, victim)
+			delete(c.lastUse, victim)
+		}
+	}
+	return next
+}
+
+// overloadedChip returns a chip exceeding the port limit, or -1.
+func overloadedChip(c Config, limit int) int {
+	deg := map[int]int{}
+	for e := range c.edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	for chip, n := range deg {
+		if n > limit {
+			return chip
+		}
+	}
+	return -1
+}

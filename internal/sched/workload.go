@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"fmt"
+
+	"lightpath/internal/rng"
+	"lightpath/internal/unit"
+)
+
+// WorkloadKind selects a synthetic phase-sequence generator.
+type WorkloadKind int
+
+// Workload kinds.
+const (
+	// WorkloadPeriodic cycles through a small set of patterns
+	// (pipeline-parallel training: the same few phases repeat).
+	WorkloadPeriodic WorkloadKind = iota
+	// WorkloadShifting drifts: each phase perturbs one pair of the
+	// previous (slowly evolving expert routing).
+	WorkloadShifting
+	// WorkloadChurning draws a fresh random matching every phase
+	// (adversarial for circuit reuse).
+	WorkloadChurning
+)
+
+// String names the workload.
+func (k WorkloadKind) String() string {
+	switch k {
+	case WorkloadPeriodic:
+		return "periodic"
+	case WorkloadShifting:
+		return "shifting"
+	case WorkloadChurning:
+		return "churning"
+	default:
+		return fmt.Sprintf("WorkloadKind(%d)", int(k))
+	}
+}
+
+// matching draws a random perfect matching over the chips.
+func matching(chips []int, bytes unit.Bytes, r *rng.Rand) Demand {
+	perm := r.Perm(len(chips))
+	var d Demand
+	for i := 0; i+1 < len(perm); i += 2 {
+		d.Pairs = append(d.Pairs, Pair{Src: chips[perm[i]], Dst: chips[perm[i+1]], Bytes: bytes})
+	}
+	return d
+}
+
+// Generate builds a deterministic phase sequence of the given kind:
+// phases communication phases over the chips, each pair moving bytes.
+func Generate(kind WorkloadKind, chips []int, phases int, bytes unit.Bytes, r *rng.Rand) []Demand {
+	if len(chips) < 2 {
+		panic("sched: workload needs at least 2 chips")
+	}
+	var out []Demand
+	switch kind {
+	case WorkloadPeriodic:
+		base := []Demand{
+			matching(chips, bytes, r),
+			matching(chips, bytes, r),
+			matching(chips, bytes, r),
+		}
+		for i := 0; i < phases; i++ {
+			out = append(out, base[i%len(base)])
+		}
+	case WorkloadShifting:
+		cur := matching(chips, bytes, r)
+		for i := 0; i < phases; i++ {
+			out = append(out, cur)
+			// Perturb: re-aim one pair's destination.
+			next := Demand{Pairs: append([]Pair(nil), cur.Pairs...)}
+			if len(next.Pairs) > 0 {
+				pi := r.Intn(len(next.Pairs))
+				next.Pairs[pi].Dst = chips[r.Intn(len(chips))]
+				if next.Pairs[pi].Dst == next.Pairs[pi].Src {
+					next.Pairs[pi].Dst = chips[(r.Intn(len(chips)-1)+1+indexOf(chips, next.Pairs[pi].Src))%len(chips)]
+				}
+			}
+			cur = next
+		}
+	case WorkloadChurning:
+		for i := 0; i < phases; i++ {
+			out = append(out, matching(chips, bytes, r))
+		}
+	default:
+		panic(fmt.Sprintf("sched: unknown workload %d", int(kind)))
+	}
+	return out
+}
+
+func indexOf(chips []int, chip int) int {
+	for i, c := range chips {
+		if c == chip {
+			return i
+		}
+	}
+	return 0
+}

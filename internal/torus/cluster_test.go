@@ -1,0 +1,214 @@
+package torus
+
+import (
+	"testing"
+)
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(Shape{4, 4, 4}, 0); err == nil {
+		t.Fatal("zero racks accepted")
+	}
+	if _, err := NewCluster(Shape{0}, 2); err == nil {
+		t.Fatal("bad rack shape accepted")
+	}
+}
+
+func TestTPUv4ClusterScale(t *testing.T) {
+	// Paper §4: 64 racks of 4x4x4 = 4096 chips, 16 servers x 4 TPUs
+	// per rack.
+	c := NewTPUv4Cluster()
+	if c.Size() != 4096 {
+		t.Fatalf("cluster size = %d, want 4096", c.Size())
+	}
+	if c.NumRacks() != 64 || c.RackSize() != 64 {
+		t.Fatalf("racks = %d x %d chips", c.NumRacks(), c.RackSize())
+	}
+	servers := map[int]int{}
+	for chip := 0; chip < c.RackSize(); chip++ {
+		servers[c.ServerOf(chip)]++
+	}
+	if len(servers) != 16 {
+		t.Fatalf("servers per rack = %d, want 16", len(servers))
+	}
+	for s, n := range servers {
+		if n != ChipsPerServer {
+			t.Fatalf("server %d has %d chips, want %d", s, n, ChipsPerServer)
+		}
+	}
+}
+
+func TestServerChips(t *testing.T) {
+	c := NewTPUv4Cluster()
+	chip := c.Rack().Index(Coord{1, 1, 2})
+	server := c.ServerOf(chip)
+	chips := c.ServerChips(server)
+	if len(chips) != ChipsPerServer {
+		t.Fatalf("server chips = %v", chips)
+	}
+	found := false
+	for _, ch := range chips {
+		if ch == chip {
+			found = true
+		}
+		if c.ServerOf(ch) != server {
+			t.Fatalf("chip %d in wrong server", ch)
+		}
+	}
+	if !found {
+		t.Fatal("ServerChips does not include the probe chip")
+	}
+}
+
+func TestGlobalIDSplitRoundTrip(t *testing.T) {
+	c, _ := NewCluster(Shape{4, 4, 4}, 4)
+	for g := 0; g < c.Size(); g++ {
+		rack, chip := c.Split(g)
+		if back := c.GlobalID(rack, chip); back != g {
+			t.Fatalf("round trip %d -> (%d,%d) -> %d", g, rack, chip, back)
+		}
+	}
+}
+
+func TestGlobalIDPanics(t *testing.T) {
+	c, _ := NewCluster(Shape{4}, 2)
+	for name, fn := range map[string]func(){
+		"bad rack":   func() { c.GlobalID(2, 0) },
+		"bad chip":   func() { c.GlobalID(0, 4) },
+		"bad global": func() { c.Split(8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStandaloneRackWrapsToItself(t *testing.T) {
+	c, _ := NewCluster(Shape{4, 4, 4}, 2)
+	tor := c.Rack()
+	edge := c.GlobalID(0, tor.Index(Coord{0, 0, 3}))
+	n := c.NeighborGlobal(edge, 2, +1)
+	if n != c.GlobalID(0, tor.Index(Coord{0, 0, 0})) {
+		t.Fatalf("standalone wrap = %d", n)
+	}
+}
+
+func TestJoinTwoRacksAlongZ(t *testing.T) {
+	// Figure 6b's setting: two racks spliced along Z through the OCS.
+	c, _ := NewCluster(Shape{4, 4, 4}, 2)
+	if err := c.Join(2, []int{0, 1}); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	tor := c.Rack()
+	// Rack 0's +Z face now reaches rack 1's -Z face.
+	a := c.GlobalID(0, tor.Index(Coord{1, 2, 3}))
+	b := c.GlobalID(1, tor.Index(Coord{1, 2, 0}))
+	if got := c.NeighborGlobal(a, 2, +1); got != b {
+		t.Fatalf("spliced +Z neighbor = %d, want %d", got, b)
+	}
+	// And symmetrically back.
+	if got := c.NeighborGlobal(b, 2, -1); got != a {
+		t.Fatalf("spliced -Z neighbor = %d, want %d", got, a)
+	}
+	// Rack 1's +Z face wraps around to rack 0's -Z face (two-rack torus).
+	top := c.GlobalID(1, tor.Index(Coord{1, 2, 3}))
+	bottom := c.GlobalID(0, tor.Index(Coord{1, 2, 0}))
+	if got := c.NeighborGlobal(top, 2, +1); got != bottom {
+		t.Fatalf("two-rack wrap = %d, want %d", got, bottom)
+	}
+	// X and Y stay intra-rack.
+	if got := c.NeighborGlobal(a, 0, +1); c.InterRack(Link{From: a, To: got}) {
+		t.Fatal("X neighbor crossed racks")
+	}
+	if !c.InterRack(Link{From: a, To: b}) {
+		t.Fatal("Z splice not reported inter-rack")
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	c, _ := NewCluster(Shape{4, 4, 4}, 4)
+	if err := c.Join(3, []int{0, 1}); err == nil {
+		t.Error("bad dimension accepted")
+	}
+	if err := c.Join(2, []int{0}); err == nil {
+		t.Error("single-rack join accepted")
+	}
+	if err := c.Join(2, []int{0, 0}); err == nil {
+		t.Error("duplicate rack accepted")
+	}
+	if err := c.Join(2, []int{0, 9}); err == nil {
+		t.Error("out-of-range rack accepted")
+	}
+	if err := c.Join(2, []int{0, 1}); err != nil {
+		t.Fatalf("valid join rejected: %v", err)
+	}
+	if err := c.Join(2, []int{1, 2}); err == nil {
+		t.Error("re-join of already-joined rack accepted")
+	}
+}
+
+func TestIsolate(t *testing.T) {
+	c, _ := NewCluster(Shape{4, 4, 4}, 3)
+	if err := c.Join(2, []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	c.Isolate(2, 1)
+	tor := c.Rack()
+	// Rack 1 wraps to itself again.
+	edge := c.GlobalID(1, tor.Index(Coord{0, 0, 3}))
+	if got := c.NeighborGlobal(edge, 2, +1); got != c.GlobalID(1, tor.Index(Coord{0, 0, 0})) {
+		t.Fatalf("isolated rack does not self-wrap: %d", got)
+	}
+	// Racks 0 and 2 are spliced to each other.
+	a := c.GlobalID(0, tor.Index(Coord{0, 0, 3}))
+	b := c.GlobalID(2, tor.Index(Coord{0, 0, 0}))
+	if got := c.NeighborGlobal(a, 2, +1); got != b {
+		t.Fatalf("remaining racks not respliced: %d, want %d", got, b)
+	}
+	// Isolating an already standalone rack is a no-op.
+	c.Isolate(2, 1)
+}
+
+func TestIsolateTwoRackLoop(t *testing.T) {
+	c, _ := NewCluster(Shape{4, 4, 4}, 2)
+	if err := c.Join(2, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	c.Isolate(2, 0)
+	tor := c.Rack()
+	for r := 0; r < 2; r++ {
+		edge := c.GlobalID(r, tor.Index(Coord{0, 0, 3}))
+		if got := c.NeighborGlobal(edge, 2, +1); got != c.GlobalID(r, tor.Index(Coord{0, 0, 0})) {
+			t.Fatalf("rack %d not standalone after isolate", r)
+		}
+	}
+}
+
+func TestGlobalNeighborsDegree(t *testing.T) {
+	c, _ := NewCluster(Shape{4, 4, 4}, 2)
+	g := c.GlobalID(0, c.Rack().Index(Coord{1, 1, 1}))
+	if n := len(c.GlobalNeighbors(g)); n != 6 {
+		t.Fatalf("interior chip degree = %d, want 6", n)
+	}
+}
+
+func TestGlobalLinkDim(t *testing.T) {
+	c, _ := NewCluster(Shape{4, 4, 4}, 2)
+	if err := c.Join(2, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	tor := c.Rack()
+	a := c.GlobalID(0, tor.Index(Coord{1, 2, 3}))
+	b := c.GlobalID(1, tor.Index(Coord{1, 2, 0}))
+	if got := c.GlobalLinkDim(Link{From: a, To: b}); got != 2 {
+		t.Fatalf("splice link dim = %d, want 2", got)
+	}
+	far := c.GlobalID(1, tor.Index(Coord{1, 2, 1}))
+	if got := c.GlobalLinkDim(Link{From: a, To: far}); got != -1 {
+		t.Fatalf("non-adjacent dim = %d, want -1", got)
+	}
+}

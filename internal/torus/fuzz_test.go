@@ -1,0 +1,50 @@
+package torus
+
+import "testing"
+
+// FuzzIndexCoord checks the index/coordinate bijection and neighbor
+// symmetry for arbitrary shapes.
+func FuzzIndexCoord(f *testing.F) {
+	f.Add(uint8(4), uint8(4), uint8(4), uint16(17))
+	f.Add(uint8(1), uint8(2), uint8(5), uint16(0))
+	f.Fuzz(func(t *testing.T, a, b, c uint8, probe uint16) {
+		shape := Shape{int(a%6) + 1, int(b%6) + 1, int(c%6) + 1}
+		tor := New(shape)
+		i := int(probe) % tor.Size()
+		if tor.Index(tor.Coord(i)) != i {
+			t.Fatalf("bijection broken at %d", i)
+		}
+		for d := 0; d < tor.Dims(); d++ {
+			n := tor.Neighbor(i, d, +1)
+			if tor.Neighbor(n, d, -1) != i {
+				t.Fatalf("neighbor asymmetry at %d dim %d", i, d)
+			}
+		}
+	})
+}
+
+// FuzzDORPath checks dimension-ordered routes are connected, minimal
+// and terminate.
+func FuzzDORPath(f *testing.F) {
+	f.Add(uint16(0), uint16(63))
+	f.Add(uint16(5), uint16(5))
+	f.Fuzz(func(t *testing.T, fromRaw, toRaw uint16) {
+		tor := New(Shape{4, 4, 4})
+		from := int(fromRaw) % tor.Size()
+		to := int(toRaw) % tor.Size()
+		path := tor.DORPath(from, to)
+		at := from
+		for _, l := range path {
+			if l.From != at || tor.LinkDim(l) < 0 {
+				t.Fatalf("broken path at %v", l)
+			}
+			at = l.To
+		}
+		if at != to {
+			t.Fatalf("path ends at %d, want %d", at, to)
+		}
+		if len(path) > 6 { // 4x4x4: at most 2 hops per dimension
+			t.Fatalf("path too long: %d", len(path))
+		}
+	})
+}

@@ -1,0 +1,162 @@
+// Package unit provides the physical quantities used throughout the
+// LIGHTPATH simulator: data sizes, bit rates, optical power in dB and
+// linear scale, and simulated time.
+//
+// Simulated time is represented as float64 seconds rather than
+// time.Duration: collective-communication timescales span nine orders of
+// magnitude (nanosecond alpha overheads to multi-second transfers of
+// multi-gigabyte buffers) and the cost model divides and scales times in
+// ways that are awkward with integer nanoseconds.
+package unit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bytes is a data size in bytes.
+type Bytes float64
+
+// Common data sizes.
+const (
+	KB Bytes = 1e3
+	MB Bytes = 1e6
+	GB Bytes = 1e9
+	TB Bytes = 1e12
+
+	KiB Bytes = 1 << 10
+	MiB Bytes = 1 << 20
+	GiB Bytes = 1 << 30
+)
+
+// Bits returns the size in bits.
+func (b Bytes) Bits() float64 { return float64(b) * 8 }
+
+// String formats the size with a binary-agnostic decimal suffix.
+func (b Bytes) String() string {
+	switch {
+	case math.Abs(float64(b)) >= float64(TB):
+		return fmt.Sprintf("%.2fTB", float64(b/TB))
+	case math.Abs(float64(b)) >= float64(GB):
+		return fmt.Sprintf("%.2fGB", float64(b/GB))
+	case math.Abs(float64(b)) >= float64(MB):
+		return fmt.Sprintf("%.2fMB", float64(b/MB))
+	case math.Abs(float64(b)) >= float64(KB):
+		return fmt.Sprintf("%.2fKB", float64(b/KB))
+	default:
+		return fmt.Sprintf("%.0fB", float64(b))
+	}
+}
+
+// BitRate is a data rate in bits per second.
+type BitRate float64
+
+// Common data rates.
+const (
+	Kbps BitRate = 1e3
+	Mbps BitRate = 1e6
+	Gbps BitRate = 1e9
+	Tbps BitRate = 1e12
+)
+
+// GBps constructs a BitRate from gigabytes per second, the unit in which
+// the paper quotes accelerator interconnect bandwidth (e.g. "over 300
+// gigabytes per second in one direction").
+func GBps(gb float64) BitRate { return BitRate(gb * 8e9) }
+
+// BytesPerSecond returns the rate expressed in bytes per second.
+func (r BitRate) BytesPerSecond() float64 { return float64(r) / 8 }
+
+// TimeFor returns the seconds needed to transmit size at this rate.
+// TimeFor of a zero or negative rate returns +Inf for a positive size
+// (the transfer never completes) and 0 for a zero size.
+func (r BitRate) TimeFor(size Bytes) Seconds {
+	if size <= 0 {
+		return 0
+	}
+	if r <= 0 {
+		return Seconds(math.Inf(1))
+	}
+	return Seconds(size.Bits() / float64(r))
+}
+
+// String formats the rate with an SI suffix.
+func (r BitRate) String() string {
+	switch {
+	case math.Abs(float64(r)) >= float64(Tbps):
+		return fmt.Sprintf("%.2fTbps", float64(r/Tbps))
+	case math.Abs(float64(r)) >= float64(Gbps):
+		return fmt.Sprintf("%.2fGbps", float64(r/Gbps))
+	case math.Abs(float64(r)) >= float64(Mbps):
+		return fmt.Sprintf("%.2fMbps", float64(r/Mbps))
+	case math.Abs(float64(r)) >= float64(Kbps):
+		return fmt.Sprintf("%.2fKbps", float64(r/Kbps))
+	default:
+		return fmt.Sprintf("%.0fbps", float64(r))
+	}
+}
+
+// Seconds is a simulated duration or timestamp in seconds.
+type Seconds float64
+
+// Common durations.
+const (
+	Nanosecond  Seconds = 1e-9
+	Microsecond Seconds = 1e-6
+	Millisecond Seconds = 1e-3
+	Second      Seconds = 1
+)
+
+// Micros returns the duration in microseconds.
+func (s Seconds) Micros() float64 { return float64(s) * 1e6 }
+
+// String formats the duration with the most natural SI prefix.
+func (s Seconds) String() string {
+	abs := math.Abs(float64(s))
+	switch {
+	case abs == 0:
+		return "0s"
+	case abs < float64(Microsecond):
+		return fmt.Sprintf("%.1fns", float64(s)*1e9)
+	case abs < float64(Millisecond):
+		return fmt.Sprintf("%.2fus", float64(s)*1e6)
+	case abs < float64(Second):
+		return fmt.Sprintf("%.2fms", float64(s)*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", float64(s))
+	}
+}
+
+// Decibel is a power ratio in dB. Optical losses are positive dB values.
+type Decibel float64
+
+// Linear returns the linear power ratio corresponding to d treated as a
+// gain: Linear(3 dB) ~= 2. A loss of x dB is a gain of -x dB.
+func (d Decibel) Linear() float64 { return math.Pow(10, float64(d)/10) }
+
+// FromLinear converts a linear power ratio to dB.
+func FromLinear(ratio float64) Decibel {
+	return Decibel(10 * math.Log10(ratio))
+}
+
+// DBm is an absolute optical power referenced to 1 mW.
+type DBm float64
+
+// Milliwatts returns the absolute power in mW.
+func (p DBm) Milliwatts() float64 { return math.Pow(10, float64(p)/10) }
+
+// DBmFromMilliwatts converts an absolute power in mW to dBm.
+func DBmFromMilliwatts(mw float64) DBm { return DBm(10 * math.Log10(mw)) }
+
+// Sub applies a loss in dB to an absolute power: p - loss.
+func (p DBm) Sub(loss Decibel) DBm { return p - DBm(loss) }
+
+// Meters is a physical length.
+type Meters float64
+
+// Common lengths used by the wafer geometry.
+const (
+	Micrometer Meters = 1e-6
+	Millimeter Meters = 1e-3
+	Centimeter Meters = 1e-2
+)

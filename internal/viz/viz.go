@@ -1,0 +1,121 @@
+// Package viz renders rack allocations and wafer occupancy as ASCII
+// diagrams — the textual equivalent of the paper's Figures 5b and 6a,
+// used by the CLI's show command and handy when debugging scenarios.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"lightpath/internal/torus"
+	"lightpath/internal/wafer"
+)
+
+// sliceSymbols indexes slices to single characters: 1-9 then A-Z.
+func sliceSymbol(i int) byte {
+	switch {
+	case i < 0:
+		return '.'
+	case i < 9:
+		return byte('1' + i)
+	case i < 9+26:
+		return byte('A' + i - 9)
+	default:
+		return '?'
+	}
+}
+
+// RackLayers renders a 3-D rack allocation as one grid per Z plane
+// (top plane first, matching the paper's cube drawings): each cell is
+// the owning slice's symbol, '.' for free chips and 'X' for failed
+// ones. Non-3-D tori render as a single plane.
+func RackLayers(t *torus.Torus, a *torus.Allocation, failed map[int]bool) string {
+	var b strings.Builder
+	zDim := t.Dims() - 1
+	zExtent := t.Extent(zDim)
+	for z := zExtent - 1; z >= 0; z-- {
+		if zExtent > 1 {
+			fmt.Fprintf(&b, "z=%d\n", z)
+		}
+		writePlane(&b, t, a, failed, z)
+	}
+	// Legend.
+	for i, s := range a.Slices() {
+		fmt.Fprintf(&b, "  %c = %s (%s)\n", sliceSymbol(i), s.Name, s.Shape)
+	}
+	if len(a.FreeChips()) > 0 {
+		fmt.Fprintf(&b, "  . = free (%d chips)\n", len(a.FreeChips()))
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(&b, "  X = failed (%d chips)\n", len(failed))
+	}
+	return b.String()
+}
+
+// writePlane emits one Y-by-X grid at the given Z (or the whole torus
+// when it is not 3-D).
+func writePlane(b *strings.Builder, t *torus.Torus, a *torus.Allocation, failed map[int]bool, z int) {
+	if t.Dims() < 2 {
+		b.WriteString("  ")
+		for x := 0; x < t.Extent(0); x++ {
+			b.WriteByte(cellSymbol(t, a, failed, torus.Coord{x}))
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+		return
+	}
+	for y := t.Extent(1) - 1; y >= 0; y-- {
+		b.WriteString("  ")
+		for x := 0; x < t.Extent(0); x++ {
+			c := make(torus.Coord, t.Dims())
+			c[0], c[1] = x, y
+			if t.Dims() >= 3 {
+				c[2] = z
+			}
+			b.WriteByte(cellSymbol(t, a, failed, c))
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+}
+
+func cellSymbol(t *torus.Torus, a *torus.Allocation, failed map[int]bool, c torus.Coord) byte {
+	chip := t.Index(c)
+	if failed[chip] {
+		return 'X'
+	}
+	return sliceSymbol(a.Owner(chip))
+}
+
+// WaferOccupancy renders each wafer of a rack as a tile grid showing
+// lasers in use per tile (0-9, '*' for 10+), plus bus and fiber
+// utilization counters — a quick view of how loaded the photonic
+// fabric is.
+func WaferOccupancy(r *wafer.Rack) string {
+	var b strings.Builder
+	cfg := r.Config()
+	for w := 0; w < r.NumWafers(); w++ {
+		wf := r.Wafer(w)
+		h, v := wf.BusesInUse()
+		fmt.Fprintf(&b, "wafer %d (buses in use: %d horizontal, %d vertical)\n", w, h, v)
+		for row := 0; row < cfg.Rows; row++ {
+			b.WriteString("  ")
+			for col := 0; col < cfg.Cols; col++ {
+				used := cfg.LasersPerTile - wf.Tile(row, col).FreeLasers()
+				switch {
+				case used == 0:
+					b.WriteByte('.')
+				case used < 10:
+					b.WriteByte(byte('0' + used))
+				default:
+					b.WriteByte('*')
+				}
+				b.WriteByte(' ')
+			}
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "fibers in use: %d (%s cascade, %d trunks)\n",
+		r.FibersInUse(), r.Topology(), r.NumTrunks())
+	return b.String()
+}

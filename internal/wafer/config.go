@@ -1,0 +1,113 @@
+// Package wafer models the LIGHTPATH hardware itself (§3, Figures 1,
+// 2 and 4): a 200mm x 200mm photonic wafer of 32 tiles arranged in a
+// grid, each tile carrying a Tx/Rx block with 16 wavelength-
+// multiplexed lasers and photodetectors, four 1x3 optical switches
+// built from Mach-Zehnder interferometers, and thousands of bus
+// waveguides at 3 um pitch. Chips (GPUs/TPUs) are 3D-stacked one per
+// tile; programming the MZIs establishes end-to-end optical circuits
+// between chips. Wafers cascade over attached fibers into rack-scale
+// interconnects.
+//
+// The package owns hardware state (switch programming and settling,
+// laser/SerDes port budgets, waveguide-bus occupancy); pathfinding
+// over that state lives in internal/route.
+package wafer
+
+import (
+	"fmt"
+
+	"lightpath/internal/phy"
+	"lightpath/internal/unit"
+)
+
+// Config describes one LIGHTPATH wafer. The zero value is not valid;
+// start from DefaultConfig.
+type Config struct {
+	// Rows and Cols arrange the tiles; the paper's wafer has 32 tiles
+	// (we model a 4x8 grid; Figure 2c shows a 2x4 excerpt).
+	Rows, Cols int
+
+	// LasersPerTile is the number of wavelength-multiplexed lasers
+	// (and photodetectors) per tile: 16 in the paper.
+	LasersPerTile int
+
+	// SerDesPortsPerTile caps the number of distinct chip connections
+	// per tile ("the number of connections that can be made by one
+	// LIGHTPATH tile is limited by the number of SerDes ports
+	// available in the electrical chip", §3).
+	SerDesPortsPerTile int
+
+	// WavelengthCapacity is the data rate one wavelength sustains:
+	// 224 Gbps in the paper.
+	WavelengthCapacity unit.BitRate
+
+	// BusesPerLane is the number of parallel bus waveguides per tile
+	// row (horizontal) and per tile column (vertical) available for
+	// circuits. The paper's tiles support >10,000 waveguides.
+	BusesPerLane int
+
+	// FibersPerEdge is the number of attached fibers per tile row at
+	// a wafer edge, used to cascade wafers ("thousands of waveguides
+	// between chips and 10s of fibers across servers", §4.2).
+	FibersPerEdge int
+
+	// TileEdge is the physical tile edge length, used for
+	// waveguide-density and propagation-loss geometry.
+	TileEdge unit.Meters
+
+	// WaveguidePitch is the waveguide/MZI pitch: 3 um in the paper
+	// (Figure 4).
+	WaveguidePitch unit.Meters
+}
+
+// DefaultConfig returns the paper's prototype parameters.
+func DefaultConfig() Config {
+	return Config{
+		Rows:               4,
+		Cols:               8,
+		LasersPerTile:      16,
+		SerDesPortsPerTile: 16,
+		WavelengthCapacity: phy.WavelengthCapacity,
+		BusesPerLane:       10000,
+		FibersPerEdge:      16,
+		TileEdge:           30 * unit.Millimeter,
+		WaveguidePitch:     3 * unit.Micrometer,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Rows <= 0 || c.Cols <= 0:
+		return fmt.Errorf("wafer: bad tile grid %dx%d", c.Rows, c.Cols)
+	case c.LasersPerTile <= 0:
+		return fmt.Errorf("wafer: need at least one laser per tile")
+	case c.SerDesPortsPerTile <= 0:
+		return fmt.Errorf("wafer: need at least one SerDes port per tile")
+	case c.WavelengthCapacity <= 0:
+		return fmt.Errorf("wafer: non-positive wavelength capacity")
+	case c.BusesPerLane <= 0:
+		return fmt.Errorf("wafer: need at least one bus per lane")
+	case c.FibersPerEdge < 0:
+		return fmt.Errorf("wafer: negative fiber count")
+	case c.TileEdge <= 0 || c.WaveguidePitch <= 0:
+		return fmt.Errorf("wafer: non-positive geometry")
+	}
+	return nil
+}
+
+// Tiles returns the tile count (32 for the paper's wafer).
+func (c Config) Tiles() int { return c.Rows * c.Cols }
+
+// TileEgress returns a tile's maximum egress bandwidth: all lasers at
+// full wavelength capacity (16 x 224 Gbps = 3.584 Tbps).
+func (c Config) TileEgress() unit.BitRate {
+	return unit.BitRate(c.LasersPerTile) * c.WavelengthCapacity
+}
+
+// WaveguidesPerTileGeometric returns the number of waveguides that fit
+// across one tile edge at the configured pitch — the Figure 4 headline
+// (30 mm / 3 um = 10,000).
+func (c Config) WaveguidesPerTileGeometric() int {
+	return int(float64(c.TileEdge) / float64(c.WaveguidePitch))
+}

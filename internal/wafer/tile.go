@@ -1,0 +1,125 @@
+package wafer
+
+import (
+	"fmt"
+
+	"lightpath/internal/phy"
+	"lightpath/internal/unit"
+)
+
+// SwitchesPerTile is fixed by the hardware: "Each LIGHTPATH tile is
+// equipped with four optical switches; each switch has a degree of
+// 1x3" (§3).
+const SwitchesPerTile = 4
+
+// SwitchDegree is the output degree of each tile switch.
+const SwitchDegree = 3
+
+// Switch13 is one of a tile's four 1x3 optical switches, realized as
+// a two-stage binary tree of Mach-Zehnder interferometers (Figure
+// 2b): the first MZI selects output 0 versus the second stage, and
+// the second MZI selects output 1 versus output 2. Programming the
+// switch drives both stages; the switch is settled when the slower
+// stage settles.
+type Switch13 struct {
+	stage [2]phy.MZI
+	port  int
+	// lastProgram is when the most recent Program was issued.
+	lastProgram unit.Seconds
+}
+
+// Port returns the commanded output port (0, 1 or 2).
+func (s *Switch13) Port() int { return s.port }
+
+// Program commands the switch to route its input to the given output
+// port at simulated time now.
+func (s *Switch13) Program(port int, now unit.Seconds) error {
+	if port < 0 || port >= SwitchDegree {
+		return fmt.Errorf("wafer: switch port %d out of range [0, %d)", port, SwitchDegree)
+	}
+	// Stage 0: Bar selects port 0 directly; Cross forwards to stage 1.
+	// Stage 1: Bar selects port 1; Cross selects port 2.
+	if port == 0 {
+		s.stage[0].Program(phy.Bar, now)
+	} else {
+		s.stage[0].Program(phy.Cross, now)
+		if port == 1 {
+			s.stage[1].Program(phy.Bar, now)
+		} else {
+			s.stage[1].Program(phy.Cross, now)
+		}
+	}
+	s.port = port
+	s.lastProgram = now
+	return nil
+}
+
+// SettledAt returns when the switch output is stable after the most
+// recent Program: both MZI stages drive concurrently, so it is one
+// reconfiguration latency after the program time, not two.
+func (s *Switch13) SettledAt() unit.Seconds {
+	return s.lastProgram + phy.ReconfigLatency
+}
+
+// Tile is one LIGHTPATH tile with a chip stacked on it.
+type Tile struct {
+	Row, Col int
+
+	// Switches are the tile's four 1x3 MZI switches.
+	Switches [SwitchesPerTile]Switch13
+
+	lasers      int // total lasers (wavelengths)
+	serdesPorts int // total SerDes ports
+	lasersUsed  int
+	portsUsed   int
+	capacity    unit.BitRate // per wavelength
+}
+
+func newTile(row, col int, cfg Config) *Tile {
+	return &Tile{
+		Row:         row,
+		Col:         col,
+		lasers:      cfg.LasersPerTile,
+		serdesPorts: cfg.SerDesPortsPerTile,
+		capacity:    cfg.WavelengthCapacity,
+	}
+}
+
+// FreeLasers returns the number of unallocated wavelengths.
+func (t *Tile) FreeLasers() int { return t.lasers - t.lasersUsed }
+
+// FreePorts returns the number of unallocated SerDes ports.
+func (t *Tile) FreePorts() int { return t.serdesPorts - t.portsUsed }
+
+// Reserve takes width wavelengths and one SerDes port for a circuit
+// endpoint.
+func (t *Tile) Reserve(width int) error {
+	if width <= 0 {
+		return fmt.Errorf("wafer: non-positive circuit width %d", width)
+	}
+	if t.FreeLasers() < width {
+		return fmt.Errorf("wafer: tile (%d,%d) has %d free lasers, need %d",
+			t.Row, t.Col, t.FreeLasers(), width)
+	}
+	if t.FreePorts() < 1 {
+		return fmt.Errorf("wafer: tile (%d,%d) has no free SerDes ports", t.Row, t.Col)
+	}
+	t.lasersUsed += width
+	t.portsUsed++
+	return nil
+}
+
+// Release returns a circuit endpoint's resources.
+func (t *Tile) Release(width int) {
+	t.lasersUsed -= width
+	t.portsUsed--
+	if t.lasersUsed < 0 || t.portsUsed < 0 {
+		panic(fmt.Sprintf("wafer: tile (%d,%d) resource underflow", t.Row, t.Col))
+	}
+}
+
+// EndpointBandwidth returns the bandwidth of a circuit of the given
+// wavelength width terminating at this tile.
+func (t *Tile) EndpointBandwidth(width int) unit.BitRate {
+	return unit.BitRate(width) * t.capacity
+}
