@@ -1,0 +1,38 @@
+# Developer entry points for the tier-1 verify + static-analysis
+# pipeline. CI (.github/workflows/ci.yml) runs the same steps; `make`
+# with no arguments runs everything.
+
+GO ?= go
+
+.PHONY: all build test race lint fmt vet check
+
+all: check
+
+## build: compile every package.
+build:
+	$(GO) build ./...
+
+## test: run the tier-1 test suite.
+test:
+	$(GO) test ./...
+
+## race: run the test suite under the race detector.
+race:
+	$(GO) test -race ./...
+
+## lint: formatting check, go vet, and the repo-specific analyzers.
+lint: fmt vet
+	$(GO) run ./cmd/lightpath-vet ./...
+
+## fmt: fail if any file needs gofmt.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+## vet: run the standard Go vet suite.
+vet:
+	$(GO) vet ./...
+
+## check: everything CI runs, in the same order.
+check: build lint race

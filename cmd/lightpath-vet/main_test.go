@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the acceptance gate for the analyzer suite: the
+// repository itself must pass every lightpath-vet analyzer. A failure
+// here means a change reintroduced a determinism, unit-safety,
+// layering, error-handling, or documentation violation.
+func TestRepoIsClean(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("lightpath-vet ./... exited %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, stderr.String())
+	}
+	for _, name := range []string{"determinism", "unitsafety", "layering", "errdrop", "exportdoc"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestOnlySelectsSubset(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-only", "layering", "./internal/unit"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-only layering ./internal/unit exited %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-only", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-only nope exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing diagnostic: %s", stderr.String())
+	}
+}

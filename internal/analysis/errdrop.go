@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags calls whose error result is silently discarded: bare
+// call statements, deferred calls, and goroutine launches returning an
+// error nobody can see. Explicitly assigning to the blank identifier
+// (`_ = f()`) stays legal — it is a visible, greppable statement of
+// intent. A small allowlist covers writers that cannot usefully fail:
+// the fmt print family (stdout/stderr and report builders; exporters
+// that write files check errors via csv.Writer.Error) and the
+// never-failing strings.Builder / bytes.Buffer methods.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag call statements, defers, and goroutines that discard an error result",
+	Run:  runErrDrop,
+}
+
+// errDropAllowedPrefixes matches types.Func.FullName values whose
+// error results may be ignored.
+var errDropAllowedPrefixes = []string{
+	"fmt.Print",
+	"fmt.Fprint",
+	"(*strings.Builder).",
+	"(*bytes.Buffer).",
+}
+
+func runErrDrop(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDroppedError(pass, call, "call")
+				}
+			case *ast.DeferStmt:
+				checkDroppedError(pass, n.Call, "deferred call")
+			case *ast.GoStmt:
+				checkDroppedError(pass, n.Call, "goroutine")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDroppedError reports the call if it returns an error that the
+// surrounding statement discards.
+func checkDroppedError(pass *Pass, call *ast.CallExpr, kind string) {
+	t := pass.TypeOf(call)
+	if t == nil || !resultHasError(t) {
+		return
+	}
+	name := "function"
+	if fn := calleeFunc(pass, call); fn != nil {
+		name = fn.FullName()
+		for _, prefix := range errDropAllowedPrefixes {
+			if strings.HasPrefix(name, prefix) {
+				return
+			}
+		}
+	}
+	pass.Reportf(call.Pos(), "%s discards the error returned by %s; handle it or assign it to _ explicitly", kind, name)
+}
+
+// resultHasError reports whether a call result type includes error.
+func resultHasError(t types.Type) bool {
+	errType := types.Universe.Lookup("error").Type()
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ExportDoc requires a preceding doc comment on every exported
+// identifier in internal/... packages: functions, methods on exported
+// types, type declarations, and const/var specs. A comment on a
+// grouped declaration block covers the specs inside it. Struct fields
+// and interface methods are exempt. The
+// internal tree is this repository's API surface for its own
+// subsystems, and the paper-parameter constants in particular
+// (launch powers, losses, capacities) are meaningless without a
+// sentence of provenance.
+var ExportDoc = &Analyzer{
+	Name: "exportdoc",
+	Doc:  "require doc comments on exported identifiers in internal packages",
+	Run:  runExportDoc,
+}
+
+func runExportDoc(pass *Pass) error {
+	if !strings.HasPrefix(pass.Pkg.Path(), internalPrefix) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDoc(pass, d)
+			case *ast.GenDecl:
+				if d.Doc != nil {
+					continue // a block comment documents every spec inside
+				}
+				for _, spec := range d.Specs {
+					checkSpecDoc(pass, spec)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkFuncDoc reports an exported function or method without a doc
+// comment. Methods on unexported receiver types are exempt: they are
+// invisible outside the package.
+func checkFuncDoc(pass *Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	kind := "function"
+	if d.Recv != nil {
+		if !receiverExported(d.Recv) {
+			return
+		}
+		kind = "method"
+	}
+	pass.Reportf(d.Name.Pos(), "exported %s %s is undocumented", kind, d.Name.Name)
+}
+
+// checkSpecDoc reports exported names in an undocumented spec of an
+// undocumented declaration block.
+func checkSpecDoc(pass *Pass, spec ast.Spec) {
+	switch s := spec.(type) {
+	case *ast.TypeSpec:
+		if s.Name.IsExported() && s.Doc == nil {
+			pass.Reportf(s.Name.Pos(), "exported type %s is undocumented", s.Name.Name)
+		}
+	case *ast.ValueSpec:
+		if s.Doc != nil {
+			return
+		}
+		for _, name := range s.Names {
+			if name.IsExported() {
+				pass.Reportf(name.Pos(), "exported name %s is undocumented", name.Name)
+			}
+		}
+	}
+}
+
+// receiverExported reports whether the method receiver's base type
+// name is exported.
+func receiverExported(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := ast.Unparen(t).(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver like T[P]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}

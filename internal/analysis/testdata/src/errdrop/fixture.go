@@ -1,0 +1,34 @@
+// Package fixture exercises the errdrop analyzer: silently discarded
+// error results must be flagged; handled errors, explicit blank
+// assignments, and allowlisted writers must pass.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// MayFail returns an error.
+func MayFail() error { return errors.New("boom") }
+
+// Pair returns a value alongside an error.
+func Pair() (int, error) { return 0, errors.New("boom") }
+
+// Drop discards errors three different ways.
+func Drop() {
+	MayFail()       // want `call discards the error returned by fixture/errdrop.MayFail`
+	defer MayFail() // want `deferred call discards the error`
+	go Pair()       // want `goroutine discards the error`
+}
+
+// Handle deals with every error visibly: allowed.
+func Handle() {
+	if err := MayFail(); err != nil {
+		fmt.Println(err)
+	}
+	_ = MayFail()
+	var sb strings.Builder
+	sb.WriteString("builders never fail")
+	fmt.Println(sb.String())
+}

@@ -1,0 +1,44 @@
+// Package docfixture exercises the exportdoc analyzer: exported
+// identifiers without a preceding doc comment must be flagged;
+// documented identifiers, unexported names, and methods on unexported
+// types must pass.
+package docfixture
+
+// Documented has a doc comment.
+type Documented struct{}
+
+type Undocumented struct{} // want `exported type Undocumented is undocumented`
+
+type hidden struct{}
+
+// DocumentedFunc has a doc comment.
+func DocumentedFunc() {}
+
+func UndocumentedFunc() {} // want `exported function UndocumentedFunc is undocumented`
+
+func helper() {}
+
+// Method has a doc comment.
+func (Documented) Method() {}
+
+func (Documented) Bare() {} // want `exported method Bare is undocumented`
+
+// Exported methods on unexported types are invisible outside the
+// package and exempt.
+func (hidden) Exported() {}
+
+// Grouped constants are covered by the block comment.
+const (
+	GroupedA = iota
+	GroupedB
+)
+
+const Undoc = 3 // want `exported name Undoc is undocumented`
+
+var UndocVar int // want `exported name UndocVar is undocumented`
+
+// DocVar has a doc comment.
+var DocVar int
+
+// Use the unexported declarations so the fixture type-checks cleanly.
+var _ = []any{hidden{}, helper}

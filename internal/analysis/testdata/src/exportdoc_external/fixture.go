@@ -1,0 +1,5 @@
+// Package external sits outside internal/..., so exportdoc must skip
+// it even though it declares an undocumented export.
+package external
+
+func Undocumented() {}

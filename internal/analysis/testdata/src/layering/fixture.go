@@ -1,0 +1,9 @@
+// Package phy stands in for the real physical layer (rank 20): the
+// layering analyzer must reject its import of the scheduler (rank 30)
+// and accept the unit vocabulary (rank 0).
+package phy
+
+import (
+	_ "lightpath/internal/sched" // want `must not import lightpath/internal/sched`
+	_ "lightpath/internal/unit"
+)

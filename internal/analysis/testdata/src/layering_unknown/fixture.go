@@ -1,0 +1,4 @@
+// Package mystery is absent from LayerRanks: the layering analyzer
+// demands an explicit rank for every internal package so the DAG can
+// never silently grow an unreviewed edge.
+package mystery // want `not in the layering map`

@@ -1,0 +1,48 @@
+// Package fixture exercises the unitsafety analyzer: float64 casts
+// that mix distinct unit newtypes and exact ==/!= on computed unit
+// values must be flagged; same-unit math, dimensionless scaling,
+// constant sentinels, and ApproxEqual must pass.
+package fixture
+
+import "lightpath/internal/unit"
+
+// MixCast launders a loss in dB and an absolute power in dBm through
+// float64 and adds them.
+func MixCast(d unit.Decibel, p unit.DBm) float64 {
+	return float64(d) + float64(p) // want `float64 casts mix unit.Decibel and unit.DBm`
+}
+
+// CompareCast launders a duration and a size into a comparison.
+func CompareCast(s unit.Seconds, b unit.Bytes) bool {
+	return float64(s) < float64(b) // want `float64 casts mix unit.Seconds and unit.Bytes`
+}
+
+// SameCast combines two values of one unit: allowed.
+func SameCast(a, b unit.Decibel) float64 {
+	return float64(a) + float64(b)
+}
+
+// Scale multiplies by a dimensionless factor: allowed.
+func Scale(d unit.Decibel) float64 {
+	return float64(d) * 2
+}
+
+// ExactEqual compares two computed durations for float identity.
+func ExactEqual(a, b unit.Seconds) bool {
+	return a == b // want `exact == on unit.Seconds`
+}
+
+// ExactNotEqual compares two computed sizes for float identity.
+func ExactNotEqual(a, b unit.Bytes) bool {
+	return a != b // want `exact != on unit.Bytes`
+}
+
+// ZeroSentinel compares against a compile-time constant: allowed.
+func ZeroSentinel(a unit.Seconds) bool {
+	return a == 0
+}
+
+// Approx uses the epsilon helper: allowed.
+func Approx(a, b unit.Seconds) bool {
+	return unit.ApproxEqual(a, b)
+}

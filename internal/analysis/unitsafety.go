@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// unitPath is the package defining the physical-quantity newtypes.
+const unitPath = "lightpath/internal/unit"
+
+// UnitSafety guards the link-budget math against silent unit mixing.
+// The internal/unit newtypes (Decibel, DBm, Bytes, BitRate, Seconds,
+// Meters) exist so the type checker rejects e.g. adding a loss in dB
+// to a power in dBm — but a bare float64(...) cast erases that
+// protection. The analyzer flags binary expressions whose two operands
+// are float64 conversions of two *different* unit types, and flags
+// exact ==/!= comparisons between two non-constant unit-typed values
+// (floating-point results of different evaluation orders rarely
+// compare equal; use unit.ApproxEqual).
+var UnitSafety = &Analyzer{
+	Name: "unitsafety",
+	Doc:  "forbid float64 casts that mix distinct unit newtypes and exact ==/!= on unit quantities",
+	Run:  runUnitSafety,
+}
+
+func runUnitSafety(pass *Pass) error {
+	if pass.Pkg.Path() == unitPath {
+		// The unit package itself is the blessed home of cross-unit
+		// math: conversions between its newtypes are its whole job.
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.EQL, token.NEQ:
+				checkUnitComparison(pass, be)
+			case token.ADD, token.SUB, token.MUL, token.QUO,
+				token.LSS, token.GTR, token.LEQ, token.GEQ:
+				checkMixedCast(pass, be)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMixedCast flags `float64(a) OP float64(b)` where a and b have
+// different unit newtypes: the casts erase the dimension and let
+// incompatible quantities combine silently.
+func checkMixedCast(pass *Pass, be *ast.BinaryExpr) {
+	lt := unitTypeOfCastArg(pass, be.X)
+	rt := unitTypeOfCastArg(pass, be.Y)
+	if lt == nil || rt == nil || lt == rt {
+		return
+	}
+	pass.Reportf(be.Pos(), "float64 casts mix %s and %s in one expression; convert explicitly through a unit method instead", typeShort(lt), typeShort(rt))
+}
+
+// checkUnitComparison flags exact equality between two non-constant
+// unit-typed operands.
+func checkUnitComparison(pass *Pass, be *ast.BinaryExpr) {
+	lt := unitType(pass.TypeOf(be.X))
+	rt := unitType(pass.TypeOf(be.Y))
+	if lt == nil && rt == nil {
+		return
+	}
+	if isConstant(pass, be.X) || isConstant(pass, be.Y) {
+		// Comparison against a compile-time constant (usually the zero
+		// sentinel) is exact by construction.
+		return
+	}
+	t := lt
+	if t == nil {
+		t = rt
+	}
+	pass.Reportf(be.Pos(), "exact %s on %s compares floats for identity; use unit.ApproxEqual", be.Op, typeShort(t))
+}
+
+// unitTypeOfCastArg returns the unit newtype of e's argument when e is
+// a float64(x) conversion of a unit-typed x, else nil.
+func unitTypeOfCastArg(pass *Pass, e ast.Expr) *types.Named {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Kind() != types.Float64 {
+		return nil
+	}
+	return unitType(pass.TypeOf(call.Args[0]))
+}
+
+// unitType returns t as a float-backed named type declared in
+// internal/unit, or nil.
+func unitType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != unitPath {
+		return nil
+	}
+	if b, ok := named.Underlying().(*types.Basic); !ok || b.Info()&types.IsFloat == 0 {
+		return nil
+	}
+	return named
+}
+
+// isConstant reports whether the type checker evaluated e to a
+// compile-time constant.
+func isConstant(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// typeShort renders a named type as pkg.Name.
+func typeShort(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}

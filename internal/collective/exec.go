@@ -3,6 +3,7 @@ package collective
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // This file is the schedule interpreter: it executes a Schedule
@@ -124,7 +125,13 @@ func CheckAllReduce(st State, chips []int, ref []float64) error {
 // jointly cover [0, n).
 func CheckReduceScatter(st State, owned map[int]Range, ref []float64) error {
 	covered := make([]int, len(ref))
-	for c, r := range owned {
+	chips := make([]int, 0, len(owned))
+	for c := range owned {
+		chips = append(chips, c)
+	}
+	sort.Ints(chips)
+	for _, c := range chips {
+		r := owned[c]
 		buf := st[c]
 		for i := r.Lo; i < r.Hi; i++ {
 			if !approxEqual(buf[i], ref[i]) {

@@ -15,6 +15,7 @@ package collective
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"lightpath/internal/unit"
 )
@@ -127,12 +128,7 @@ func (s *Schedule) Chips() []int {
 	for c := range set {
 		chips = append(chips, c)
 	}
-	// Insertion sort: chip sets are small.
-	for i := 1; i < len(chips); i++ {
-		for j := i; j > 0 && chips[j-1] > chips[j]; j-- {
-			chips[j-1], chips[j] = chips[j], chips[j-1]
-		}
-	}
+	sort.Ints(chips)
 	return chips
 }
 
@@ -224,7 +220,7 @@ func (s *Schedule) Concat(name string, others ...*Schedule) (*Schedule, error) {
 	out := &Schedule{Name: name, N: s.N, ElemBytes: s.ElemBytes}
 	out.Steps = append(out.Steps, s.Steps...)
 	for _, o := range others {
-		if o.N != s.N || o.ElemBytes != s.ElemBytes {
+		if o.N != s.N || !unit.ApproxEqual(o.ElemBytes, s.ElemBytes) {
 			return nil, errors.New("collective: concat of schedules with different buffer geometry")
 		}
 		out.Steps = append(out.Steps, o.Steps...)

@@ -16,7 +16,7 @@ type Tabular interface {
 
 // WriteCSV writes a tabular result to path, creating parent
 // directories as needed.
-func WriteCSV(path string, t Tabular) error {
+func WriteCSV(path string, t Tabular) (err error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("experiments: %w", err)
 	}
@@ -24,7 +24,13 @@ func WriteCSV(path string, t Tabular) error {
 	if err != nil {
 		return fmt.Errorf("experiments: %w", err)
 	}
-	defer f.Close()
+	defer func() {
+		// A failed close can lose buffered rows; report it unless an
+		// earlier write error already explains the loss.
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("experiments: %w", cerr)
+		}
+	}()
 	w := csv.NewWriter(f)
 	header, rows := t.CSV()
 	if err := w.Write(header); err != nil {

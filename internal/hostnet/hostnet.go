@@ -145,7 +145,7 @@ func (p Params) CrossoverSize() unit.Bytes {
 	// serialization and per-packet processing (they pipeline):
 	// sw + s*perByte_p + hops*lat + prop = sw + setup + s/Bc + prop.
 	perBytePacket := 1 / p.PacketBandwidth.BytesPerSecond()
-	if proc := float64(p.PerPacketOverhead) / float64(p.MTU); proc > perBytePacket {
+	if proc := p.PerPacketOverhead.PerByte(p.MTU); proc > perBytePacket {
 		perBytePacket = proc
 	}
 	perByteGap := perBytePacket - 1/p.CircuitBandwidth.BytesPerSecond()

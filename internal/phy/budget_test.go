@@ -223,3 +223,112 @@ func TestBERWithExtinction(t *testing.T) {
 		t.Fatalf("40dB extinction BER off by %v", rel)
 	}
 }
+
+func TestEvaluateZeroMarginLinkIsFeasible(t *testing.T) {
+	// Default budget: floor = -17 dBm + 3 dB = -14 dBm, launch 10 dBm.
+	// A 24 dB loss lands exactly on the floor: margin 0 must count as
+	// feasible (the engineering margin is already inside the floor).
+	b := DefaultBudget()
+	rep := b.Evaluate([]LossElement{{Kind: LossCrossing, DB: 24}})
+	if float64(rep.MarginDB) != 0 {
+		t.Fatalf("margin = %v, want exactly 0", rep.MarginDB)
+	}
+	if !rep.Feasible {
+		t.Fatal("zero-margin link reported infeasible")
+	}
+	if got := rep.ReceivedPower; got != -14 {
+		t.Fatalf("received power = %v, want -14 dBm", got)
+	}
+}
+
+func TestEvaluateNegativeMarginStillAboveSensitivity(t *testing.T) {
+	// 25 dB of loss leaves rx = -15 dBm: 1 dB below the floor but 2 dB
+	// above raw sensitivity. The link must be infeasible with margin
+	// -1 dB while the BER stays at or below the reference 1e-12 (the
+	// margin floor is stricter than the BER target).
+	b := DefaultBudget()
+	rep := b.Evaluate([]LossElement{{Kind: LossPropagation, DB: 25}})
+	if rep.Feasible {
+		t.Fatalf("negative-margin link reported feasible: %v", rep)
+	}
+	if math.Abs(float64(rep.MarginDB)+1) > 1e-12 {
+		t.Fatalf("margin = %v, want -1 dB", rep.MarginDB)
+	}
+	if rep.BER > 1e-12 {
+		t.Fatalf("BER = %v, want <= 1e-12 above sensitivity", rep.BER)
+	}
+}
+
+func TestEvaluateDeepNegativeMarginDegradesBER(t *testing.T) {
+	// 30 dB of loss puts rx at -20 dBm, 3 dB below sensitivity: the
+	// thermal-noise model must report a dramatically worse BER than at
+	// the reference point.
+	b := DefaultBudget()
+	rep := b.Evaluate([]LossElement{{Kind: LossPropagation, DB: 30}})
+	if rep.Feasible {
+		t.Fatal("link 3 dB below sensitivity reported feasible")
+	}
+	if rep.BER < 1e-9 {
+		t.Fatalf("BER = %v, want far above 1e-12 below sensitivity", rep.BER)
+	}
+	if rep.BER > 0.5 {
+		t.Fatalf("BER = %v, must never exceed 0.5", rep.BER)
+	}
+}
+
+func TestLinkReportStringFormatsBERAndStatus(t *testing.T) {
+	b := DefaultBudget()
+	infeasible := b.Evaluate([]LossElement{{Kind: LossPropagation, DB: 25}}).String()
+	if !strings.Contains(infeasible, "INFEASIBLE") {
+		t.Errorf("negative-margin report %q missing INFEASIBLE", infeasible)
+	}
+	if !strings.Contains(infeasible, "margin=-1.00dB") {
+		t.Errorf("report %q missing signed margin", infeasible)
+	}
+	// BER must render in scientific notation with two digits of
+	// mantissa, never as a rounded-to-zero decimal.
+	if !strings.Contains(infeasible, "ber=") || !strings.Contains(infeasible, "e-") {
+		t.Errorf("report %q missing scientific-notation BER", infeasible)
+	}
+	feasible := b.Evaluate(nil).String()
+	if !strings.Contains(feasible, "feasible") || strings.Contains(feasible, "INFEASIBLE") {
+		t.Errorf("lossless report %q should read feasible", feasible)
+	}
+}
+
+func TestEvaluateNoLossElements(t *testing.T) {
+	b := DefaultBudget()
+	rep := b.Evaluate(nil)
+	if float64(rep.TotalLossDB) != 0 || rep.ReceivedPower != b.LaunchPower {
+		t.Fatalf("lossless link: loss=%v rx=%v", rep.TotalLossDB, rep.ReceivedPower)
+	}
+	if len(rep.ByKind) != 0 {
+		t.Fatalf("lossless link ByKind = %v, want empty", rep.ByKind)
+	}
+	if math.Abs(float64(rep.MarginDB)-24) > 1e-12 {
+		t.Fatalf("margin = %v, want 24 dB", rep.MarginDB)
+	}
+}
+
+func TestMaxCrossingsExhaustedBudget(t *testing.T) {
+	// Fixed loss beyond the whole budget leaves room for zero
+	// crossings, not a negative count.
+	b := DefaultBudget()
+	if got := b.MaxCrossings(30, 0.25); got != 0 {
+		t.Fatalf("MaxCrossings(30 dB fixed) = %d, want 0", got)
+	}
+	// Exactly exhausted: available = 24 - 24 = 0.
+	if got := b.MaxCrossings(24, 0.25); got != 0 {
+		t.Fatalf("MaxCrossings(24 dB fixed) = %d, want 0", got)
+	}
+}
+
+func TestWaterfallSinglePoint(t *testing.T) {
+	points := Waterfall(-17, -15, -15, 1)
+	if len(points) != 1 {
+		t.Fatalf("degenerate range yielded %d points, want 1", len(points))
+	}
+	if points[0].Rx != -15 {
+		t.Fatalf("point at %v, want -15 dBm", points[0].Rx)
+	}
+}

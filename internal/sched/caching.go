@@ -73,17 +73,21 @@ func (c *CachingPolicy) Next(current Config, d Demand) Config {
 	return next
 }
 
-// overloadedChip returns a chip exceeding the port limit, or -1.
+// overloadedChip returns the lowest-numbered chip exceeding the port
+// limit, or -1.
 func overloadedChip(c Config, limit int) int {
 	deg := map[int]int{}
 	for e := range c.edges {
 		deg[e[0]]++
 		deg[e[1]]++
 	}
+	// Pick the smallest offending chip ID so the eviction sequence is
+	// independent of map iteration order.
+	worst := -1
 	for chip, n := range deg {
-		if n > limit {
-			return chip
+		if n > limit && (worst == -1 || chip < worst) {
+			worst = chip
 		}
 	}
-	return -1
+	return worst
 }

@@ -136,8 +136,20 @@ func (c Config) hops(a, b int) int {
 	if c.Has(a, b) {
 		return 1
 	}
-	adj := map[int][]int{}
+	// Build adjacency lists in sorted edge order so BFS tie-breaking
+	// (and any future use of the lists) is reproducible.
+	edges := make([][2]int, 0, len(c.edges))
 	for e := range c.edges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	adj := map[int][]int{}
+	for _, e := range edges {
 		adj[e[0]] = append(adj[e[0]], e[1])
 		adj[e[1]] = append(adj[e[1]], e[0])
 	}

@@ -110,6 +110,12 @@ const (
 // Micros returns the duration in microseconds.
 func (s Seconds) Micros() float64 { return float64(s) * 1e6 }
 
+// PerByte amortizes the duration over each byte of a size-b unit of
+// work, returning seconds per byte. It is the named, dimensionally
+// explicit form of the raw division s/b that the unitsafety analyzer
+// would otherwise flag as unit mixing.
+func (s Seconds) PerByte(b Bytes) float64 { return float64(s) / float64(b) }
+
 // String formats the duration with the most natural SI prefix.
 func (s Seconds) String() string {
 	abs := math.Abs(float64(s))
@@ -150,6 +156,38 @@ func DBmFromMilliwatts(mw float64) DBm { return DBm(10 * math.Log10(mw)) }
 
 // Sub applies a loss in dB to an absolute power: p - loss.
 func (p DBm) Sub(loss Decibel) DBm { return p - DBm(loss) }
+
+// Tolerances for ApproxEqual: two quantities are approximately equal
+// when they differ by at most relTol of the larger magnitude, or by at
+// most absTol near zero (where the relative test degenerates).
+const (
+	relTol = 1e-9
+	absTol = 1e-12
+)
+
+// ApproxEqual reports whether two float-backed quantities agree to
+// within a relative tolerance of 1e-9 (absolute 1e-12 near zero).
+// Simulation results are sums and products of floats whose rounding
+// depends on evaluation order, so exact ==/!= on computed quantities
+// is almost always a bug; the unitsafety analyzer flags such
+// comparisons and points here.
+func ApproxEqual[T ~float64](a, b T) bool {
+	x, y := float64(a), float64(b)
+	if x == y {
+		return true // also covers shared infinities and exact zeros
+	}
+	if math.IsInf(x, 0) || math.IsInf(y, 0) || math.IsNaN(x) || math.IsNaN(y) {
+		// Mismatched infinities and NaNs are never approximately equal;
+		// without this guard the relative test below would accept
+		// +Inf vs -Inf because Inf <= relTol*Inf.
+		return false
+	}
+	diff := math.Abs(x - y)
+	if diff <= absTol {
+		return true
+	}
+	return diff <= relTol*math.Max(math.Abs(x), math.Abs(y))
+}
 
 // Meters is a physical length.
 type Meters float64

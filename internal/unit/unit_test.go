@@ -153,3 +153,69 @@ func TestSecondsMicros(t *testing.T) {
 		t.Fatalf("Micros = %v, want 3.7", got)
 	}
 }
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Seconds
+		want bool
+	}{
+		{"identical", 1.5, 1.5, true},
+		{"both zero", 0, 0, true},
+		{"within relative tolerance", 1, 1 + 1e-12, true},
+		{"outside relative tolerance", 1, 1 + 1e-6, false},
+		{"near zero within absolute tolerance", 0, 1e-13, true},
+		{"near zero outside absolute tolerance", 0, 1e-9, false},
+		{"large magnitudes scale the tolerance", 1e12, 1e12 * (1 + 1e-10), true},
+		{"sign flip", 1, -1, false},
+		{"shared infinity", Seconds(math.Inf(1)), Seconds(math.Inf(1)), true},
+		{"opposite infinities", Seconds(math.Inf(1)), Seconds(math.Inf(-1)), false},
+		{"nan never equals", Seconds(math.NaN()), Seconds(math.NaN()), false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b); got != c.want {
+			t.Errorf("%s: ApproxEqual(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+		if got := ApproxEqual(c.b, c.a); got != c.want {
+			t.Errorf("%s: ApproxEqual(%v, %v) = %v, want %v (asymmetric)", c.name, c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestApproxEqualAcrossUnitTypes(t *testing.T) {
+	// The helper is generic over every float-backed newtype.
+	if !ApproxEqual(3*GB, 3*GB) {
+		t.Error("Bytes: 3GB should approx-equal itself")
+	}
+	if ApproxEqual(Decibel(0.25), Decibel(0.5)) {
+		t.Error("Decibel: 0.25 dB should not approx-equal 0.5 dB")
+	}
+	if !ApproxEqual(DBm(-17), DBm(-17)-DBm(1e-12)) {
+		t.Error("DBm: sub-femto perturbation should stay approx-equal")
+	}
+}
+
+func TestApproxEqualAccumulationOrder(t *testing.T) {
+	// The motivating case: the same sum in two different orders is not
+	// bitwise equal but must compare approx-equal.
+	vals := []Seconds{1e-9, 3.3e-4, 2.7e-1, 5e3, 1e-7}
+	var fwd, rev Seconds
+	for i := range vals {
+		fwd += vals[i]
+		rev += vals[len(vals)-1-i]
+	}
+	if fwd == rev {
+		t.Skip("sums happen to be bitwise equal on this platform")
+	}
+	if !ApproxEqual(fwd, rev) {
+		t.Errorf("order-permuted sums %v and %v should approx-equal", fwd, rev)
+	}
+}
+
+func TestSecondsPerByte(t *testing.T) {
+	// 1 ms amortized over a 1 KB packet is 1 microsecond per byte.
+	got := Millisecond.PerByte(1 * KB)
+	if math.Abs(got-1e-6) > 1e-18 {
+		t.Fatalf("1ms over 1KB = %v s/B, want 1e-6", got)
+	}
+}
