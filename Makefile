@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet check
+.PHONY: all build test race lint fmt vet check chaos-smoke
 
 all: check
 
@@ -34,5 +34,15 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+## chaos-smoke: run the fault-injection experiment with the pinned seed
+## and diff its CSV against the committed golden. Any divergence means
+## the failure lifecycle lost bit-for-bit determinism.
+chaos-smoke:
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/lightpath-sim chaos -seed 2024 -trials 8 -n 262144 -csv $$tmp >/dev/null && \
+	diff -u cmd/lightpath-sim/testdata/chaos_golden.csv $$tmp/chaos.csv; \
+	rc=$$?; rm -rf $$tmp; \
+	if [ $$rc -ne 0 ]; then echo "chaos CSV diverged from golden (seed 2024)" >&2; exit 1; fi
+
 ## check: everything CI runs, in the same order.
-check: build lint race
+check: build lint race chaos-smoke

@@ -22,6 +22,7 @@
 //	fig7      optical repair of broken rings (E9)
 //	repair    repairability sweep over random racks and failures
 //	blast     blast radius sweep, electrical vs optical policy (E10)
+//	chaos     fault-injected AllReduce: MTTR, goodput and blast radius under recovery
 //	sweep     AllReduce completion time vs buffer size (E11)
 //	alltoall  AllToAll: per-step circuit reprogramming vs DOR routing (§5)
 //	scheduler online reconfiguration policies vs offline optimal (§1/§5)
@@ -61,6 +62,7 @@ func run(args []string, out printer) error {
 	seed := fs.Uint64("seed", 2024, "deterministic seed for all stochastic components")
 	elements := fs.Int("n", experiments.DefaultTableBuffer, "collective buffer length in float32 elements")
 	samples := fs.Int("samples", 10000, "stitch-loss samples for fig3b")
+	trials := fs.Int("trials", 8, "fault-injection trials for chaos")
 	csvDir := fs.String("csv", "", "directory to also write each experiment's data series as <command>.csv")
 	if len(args) == 0 {
 		fs.Usage()
@@ -131,6 +133,13 @@ func run(args []string, out printer) error {
 			return emitCSV(*csvDir, "fig7", r)
 		},
 		"blast": func() error { return emit(out, experiments.Blast(), nil) },
+		"chaos": func() error {
+			r, err := experiments.Chaos(*seed, *trials, experiments.TableBufferBytes(*elements))
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "chaos", r)
+		},
 		"sweep": func() error {
 			r, err := experiments.Sweep(experiments.DefaultSweepBuffers(), *seed)
 			if err := emit(out, r, err); err != nil {
@@ -209,7 +218,7 @@ func run(args []string, out printer) error {
 	if cmd == "all" {
 		order := []string{"info", "fig3a", "fig3b", "fig4", "ber", "table1", "table2",
 			"show", "fig5", "scale", "tenants", "fig6a", "fig6b", "fig7", "repair",
-			"blast", "sweep", "alltoall", "scheduler", "moe", "moesweep", "hostnet",
+			"blast", "chaos", "sweep", "alltoall", "scheduler", "moe", "moesweep", "hostnet",
 			"protocols", "ablate"}
 		for _, name := range order {
 			if err := commands[name](); err != nil {

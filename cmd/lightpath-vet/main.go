@@ -8,13 +8,17 @@
 //
 //	go run ./cmd/lightpath-vet ./...
 //	go run ./cmd/lightpath-vet -only determinism,layering ./internal/...
+//	go run ./cmd/lightpath-vet -json ./...
 //	go run ./cmd/lightpath-vet -list
 //
-// It prints one finding per line in file:line:col form and exits 1 if
-// any analyzer reported a finding, 2 on a usage or load error.
+// It prints one finding per line in file:line:col form — or, with
+// -json, a JSON array of findings for editor and CI integration — and
+// exits 1 if any analyzer reported a finding, 2 on a usage or load
+// error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +27,17 @@ import (
 
 	"lightpath/internal/analysis"
 )
+
+// jsonFinding is the -json wire form of one finding: flat, stable
+// field names, positions split out so consumers need no re-parsing of
+// the file:line:col string.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -35,8 +50,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the available analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array instead of file:line:col lines")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: lightpath-vet [-list] [-only a,b] [packages]")
+		fmt.Fprintln(stderr, "usage: lightpath-vet [-list] [-json] [-only a,b] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -82,14 +98,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "lightpath-vet:", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	if *asJSON {
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "lightpath-vet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "lightpath-vet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
 		return 1
 	}
 	return 0
+}
+
+// writeJSON renders findings as an indented JSON array. An empty run
+// emits [] (never null) so downstream parsers see a consistent shape.
+func writeJSON(w io.Writer, findings []analysis.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // selectAnalyzers resolves the -only flag to a subset of the suite.

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"encoding/json"
+	"go/token"
 	"strings"
 	"testing"
+
+	"lightpath/internal/analysis"
 )
 
 // TestRepoIsClean is the acceptance gate for the analyzer suite: the
@@ -42,5 +46,44 @@ func TestUnknownAnalyzerIsUsageError(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "unknown analyzer") {
 		t.Errorf("stderr missing diagnostic: %s", stderr.String())
+	}
+}
+
+func TestJSONOutputCleanRun(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-json", "./internal/unit"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-json ./internal/unit exited %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	var got []jsonFinding
+	if err := json.Unmarshal([]byte(stdout.String()), &got); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(got) != 0 {
+		t.Fatalf("clean package produced findings: %v", got)
+	}
+	// The empty case must still be an array, not null.
+	if !strings.HasPrefix(strings.TrimSpace(stdout.String()), "[") {
+		t.Fatalf("empty run did not emit an array: %q", stdout.String())
+	}
+}
+
+func TestWriteJSONFieldMapping(t *testing.T) {
+	var b strings.Builder
+	findings := []analysis.Finding{{
+		Analyzer: "unitsafety",
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Message:  "exact equality on unit.Seconds",
+	}}
+	if err := writeJSON(&b, findings); err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonFinding
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	want := jsonFinding{Analyzer: "unitsafety", File: "x.go", Line: 3, Col: 7,
+		Message: "exact equality on unit.Seconds"}
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("round-trip = %+v, want %+v", got, want)
 	}
 }

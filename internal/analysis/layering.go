@@ -21,6 +21,7 @@ const internalPrefix = "lightpath/internal/"
 // link-budget math can never grow a dependency on policy code.
 var LayerRanks = map[string]int{
 	"analysis":    0,
+	"chaos":       10,
 	"rng":         0,
 	"unit":        0,
 	"torus":       10,

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lightpath/internal/unit"
+)
+
+// TestChaosCampaign runs a small campaign and checks the headline
+// claims: every interrupted collective recovers to the exact result,
+// repairs stay within twice the analytic bound, and the optical stall
+// set beats the electrical one.
+func TestChaosCampaign(t *testing.T) {
+	res, err := Chaos(2024, 4, unit.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 4 {
+		t.Fatalf("%d trials, want 4", len(res.Trials))
+	}
+	if !res.AllCorrect {
+		t.Fatal("a recovered collective produced a wrong result")
+	}
+	if !res.WithinBound {
+		t.Fatalf("a repair exceeded 2x the %v bound", res.RepairBound)
+	}
+	if res.BlastRatio <= 1 {
+		t.Fatalf("blast ratio %g, want > 1 (optical strictly smaller)", res.BlastRatio)
+	}
+	if res.MeanMTTR <= 0 || res.MeanGoodput <= 0 || res.MeanGoodput > 1 {
+		t.Fatalf("MTTR %v, goodput %g", res.MeanMTTR, res.MeanGoodput)
+	}
+	for i, tr := range res.Trials {
+		if tr.Victim == tr.Replacement {
+			t.Fatalf("trial %d: replacement is the victim", i)
+		}
+		if tr.StallOptical >= tr.StallElectrical {
+			t.Fatalf("trial %d: stall sets %d vs %d", i, tr.StallOptical, tr.StallElectrical)
+		}
+	}
+	if err := func() error { _, err := Chaos(2024, 0, unit.MB); return err }(); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+// TestChaosDeterministic is the reproducibility gate from the issue:
+// the same seed must yield a byte-identical CSV, end to end through
+// the fault engine, the recovery loop, and the formatter.
+func TestChaosDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	paths := [2]string{filepath.Join(dir, "a.csv"), filepath.Join(dir, "b.csv")}
+	for _, p := range paths {
+		res, err := Chaos(2024, 4, unit.MB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCSV(p, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty CSV")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed, different CSVs:\n%s\n---\n%s", a, b)
+	}
+	// A different seed must change the campaign (the engine is the only
+	// randomness source, so this also proves the seed is actually used).
+	other, err := Chaos(7, 4, unit.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Chaos(2024, 4, unit.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range first.Trials {
+		if first.Trials[i].Victim != other.Trials[i].Victim ||
+			first.Trials[i].FailStep != other.Trials[i].FailStep {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seed 7 and seed 2024 drew identical fault schedules")
+	}
+}

@@ -1,0 +1,301 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lightpath/internal/unit"
+)
+
+// This file adds the failure lifecycle to the fluid simulator:
+// resources can die and come back at scheduled simulated times, flows
+// crossing a dead resource stall, the sender detects the stall after a
+// configurable detection latency, and the transfer is retried with
+// exponential backoff once the fabric recovers. It is the dynamic
+// counterpart of Run, which assumes every resource survives the whole
+// flow set.
+
+// Event changes resource health at a simulated time. Events passed to
+// RunEvents must be sorted by ascending At.
+type Event[R comparable] struct {
+	// At is when the change takes effect.
+	At unit.Seconds
+	// Fail lists resources whose capacity drops to zero at At.
+	Fail []R
+	// Restore lists resources that return to their configured
+	// capacity at At (a completed repair).
+	Restore []R
+}
+
+// RetryPolicy configures failure detection and transfer retry.
+type RetryPolicy struct {
+	// Detection is how long a flow must be stalled before its sender
+	// declares the transfer dead (heartbeat timeout). A failure that
+	// heals within the detection window is a transparent hiccup: the
+	// transfer resumes without retransmission.
+	Detection unit.Seconds
+	// Backoff is the delay before the first retry after detection.
+	Backoff unit.Seconds
+	// BackoffFactor multiplies the delay on each successive retry.
+	BackoffFactor float64
+	// MaxRetries bounds the retries per flow; exceeding it aborts the
+	// whole run with ErrRetriesExhausted.
+	MaxRetries int
+}
+
+// DefaultRetryPolicy returns the parameters used by the chaos
+// experiments: 10 us detection (a handful of RTTs at rack scale),
+// first retry after 5 us, doubling, at most 8 retries.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		Detection:     10 * unit.Microsecond,
+		Backoff:       5 * unit.Microsecond,
+		BackoffFactor: 2,
+		MaxRetries:    8,
+	}
+}
+
+// validate checks the policy's parameters.
+func (p RetryPolicy) validate() error {
+	if p.Detection < 0 || p.Backoff < 0 {
+		return fmt.Errorf("netsim: negative detection or backoff in retry policy")
+	}
+	if p.BackoffFactor < 1 {
+		return fmt.Errorf("netsim: backoff factor %g < 1", p.BackoffFactor)
+	}
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("netsim: negative max retries")
+	}
+	return nil
+}
+
+// ErrRetriesExhausted reports a flow that exceeded its retry budget.
+var ErrRetriesExhausted = errors.New("netsim: flow exhausted its retries")
+
+// ErrStalledForever reports flows stalled on dead resources with no
+// remaining restore event — the run can never finish.
+var ErrStalledForever = errors.New("netsim: flows stalled with no recovery scheduled")
+
+// EventResult reports a simulated flow set that survived failures.
+type EventResult struct {
+	Result
+	// Retries[i] counts flow i's abandoned attempts.
+	Retries []int
+	// Stalled[i] is flow i's total time spent stalled or backing off.
+	Stalled []unit.Seconds
+	// WastedBytes is the payload delivered by attempts that were later
+	// abandoned and retransmitted from scratch.
+	WastedBytes unit.Bytes
+}
+
+// GoodputFraction returns useful bytes over total bytes moved — the
+// goodput-under-failure metric (1.0 when nothing was retried).
+func (r EventResult) GoodputFraction() float64 {
+	var useful unit.Bytes
+	for _, d := range r.Delivered {
+		useful += d
+	}
+	if useful+r.WastedBytes <= 0 {
+		return 1
+	}
+	return float64(useful) / float64(useful+r.WastedBytes)
+}
+
+// flowPhase is a flow's position in the failure lifecycle.
+type flowPhase int
+
+const (
+	phaseDone flowPhase = iota
+	phaseRunning
+	phaseStalled // crossing a dead resource, failure not yet detected
+	phaseBackoff // detected; waiting out the retry delay
+)
+
+// RunEvents simulates the flows like Run while applying the failure
+// events: a flow crossing a failed resource stalls; after
+// pol.Detection it is declared dead, waits out an exponential backoff,
+// and retries the whole transfer once its resources are healthy again
+// (a retry into a still-dead fabric stalls and is re-detected,
+// consuming another retry). Failures that heal within the detection
+// window resume transparently with no retransmission.
+func RunEvents[R comparable](flows []Flow[R], caps map[R]unit.BitRate, events []Event[R], pol RetryPolicy) (EventResult, error) {
+	if err := pol.validate(); err != nil {
+		return EventResult{}, err
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			return EventResult{}, fmt.Errorf("netsim: events not sorted by time (event %d at %v after %v)",
+				i, events[i].At, events[i-1].At)
+		}
+	}
+	res := EventResult{
+		Result: Result{
+			FlowEnd:   make([]unit.Seconds, len(flows)),
+			Delivered: make([]unit.Bytes, len(flows)),
+		},
+		Retries: make([]int, len(flows)),
+		Stalled: make([]unit.Seconds, len(flows)),
+	}
+
+	remaining := make([]float64, len(flows))
+	phase := make([]flowPhase, len(flows))
+	deadline := make([]float64, len(flows)) // detection or backoff expiry, by phase
+	active := 0
+	for i, f := range flows {
+		if f.Bytes < 0 {
+			return EventResult{}, fmt.Errorf("netsim: flow %d has negative size", i)
+		}
+		if f.Bytes == 0 {
+			continue
+		}
+		if len(f.Via) == 0 {
+			return EventResult{}, fmt.Errorf("%w: flow %d traverses no resources", ErrStarvedFlow, i)
+		}
+		for _, r := range f.Via {
+			c, ok := caps[r]
+			if !ok {
+				return EventResult{}, fmt.Errorf("netsim: flow %d uses unknown resource %v", i, r)
+			}
+			if c <= 0 {
+				return EventResult{}, fmt.Errorf("%w: flow %d crosses zero-capacity resource %v", ErrStarvedFlow, i, r)
+			}
+		}
+		remaining[i] = float64(f.Bytes)
+		phase[i] = phaseRunning
+		active++
+	}
+
+	dead := map[R]bool{}
+	healthy := func(i int) bool {
+		for _, r := range flows[i].Via {
+			if dead[r] {
+				return false
+			}
+		}
+		return true
+	}
+	// Stalled flows transmit nothing, so they are excluded from the
+	// rate computation entirely (zeroed remaining) and the survivors
+	// share the full configured capacities.
+	now := 0.0
+	eventIdx := 0
+	for active > 0 {
+		// Rates over running flows only.
+		runRemaining := make([]float64, len(flows))
+		for i := range flows {
+			if phase[i] == phaseRunning {
+				runRemaining[i] = remaining[i]
+			}
+		}
+		rates := fairRates(flows, caps, runRemaining)
+
+		// Advance to the next transition: a completion, an external
+		// event, a detection expiry, or a backoff expiry.
+		dt := math.Inf(1)
+		for i := range flows {
+			switch phase[i] {
+			case phaseRunning:
+				if rates[i] <= 0 {
+					return EventResult{}, fmt.Errorf("%w: flow %d received zero rate", ErrStarvedFlow, i)
+				}
+				if t := remaining[i] / rates[i]; t < dt {
+					dt = t
+				}
+			case phaseStalled, phaseBackoff:
+				if t := deadline[i] - now; t < dt {
+					dt = t
+				}
+			}
+		}
+		if eventIdx < len(events) {
+			if t := float64(events[eventIdx].At) - now; t < dt {
+				dt = t
+			}
+		}
+		if math.IsInf(dt, 1) {
+			return EventResult{}, fmt.Errorf("%w (t=%v)", ErrStalledForever, unit.Seconds(now))
+		}
+		if dt < 0 {
+			dt = 0
+		}
+		now += dt
+
+		// Progress and stall accounting.
+		for i := range flows {
+			switch phase[i] {
+			case phaseRunning:
+				remaining[i] -= rates[i] * dt
+				if remaining[i] <= 1e-6 {
+					remaining[i] = 0
+					phase[i] = phaseDone
+					res.FlowEnd[i] = unit.Seconds(now)
+					res.Delivered[i] = flows[i].Bytes
+					active--
+				}
+			case phaseStalled, phaseBackoff:
+				res.Stalled[i] += unit.Seconds(dt)
+			}
+		}
+
+		// External events at now.
+		for eventIdx < len(events) && float64(events[eventIdx].At) <= now+1e-15 {
+			ev := events[eventIdx]
+			eventIdx++
+			for _, r := range ev.Fail {
+				dead[r] = true
+			}
+			for _, r := range ev.Restore {
+				delete(dead, r)
+			}
+		}
+
+		// Phase transitions driven by health and deadlines.
+		for i := range flows {
+			switch phase[i] {
+			case phaseRunning:
+				if !healthy(i) {
+					phase[i] = phaseStalled
+					deadline[i] = now + float64(pol.Detection)
+				}
+			case phaseStalled:
+				if healthy(i) {
+					// Healed inside the detection window: transparent
+					// resume, no retransmission.
+					phase[i] = phaseRunning
+					continue
+				}
+				if now >= deadline[i]-1e-15 {
+					// Declared dead: abandon the attempt, pay the
+					// backoff, retransmit from scratch.
+					res.WastedBytes += flows[i].Bytes - unit.Bytes(remaining[i])
+					res.Retries[i]++
+					if res.Retries[i] > pol.MaxRetries {
+						return EventResult{}, fmt.Errorf("%w: flow %d after %d attempts", ErrRetriesExhausted, i, res.Retries[i])
+					}
+					remaining[i] = float64(flows[i].Bytes)
+					backoff := float64(pol.Backoff) * math.Pow(pol.BackoffFactor, float64(res.Retries[i]-1))
+					phase[i] = phaseBackoff
+					deadline[i] = now + backoff
+				}
+			case phaseBackoff:
+				if now >= deadline[i]-1e-15 {
+					if healthy(i) {
+						phase[i] = phaseRunning
+					} else {
+						// Retry into a dead fabric: stall again and
+						// let detection charge the next retry.
+						phase[i] = phaseStalled
+						deadline[i] = now + float64(pol.Detection)
+					}
+				}
+			}
+		}
+	}
+	for i := range flows {
+		if res.FlowEnd[i] > res.Makespan {
+			res.Makespan = res.FlowEnd[i]
+		}
+	}
+	return res, nil
+}

@@ -123,21 +123,24 @@ func Run[R comparable](flows []Flow[R], caps map[R]unit.BitRate) (Result, error)
 func fairRates[R comparable](flows []Flow[R], caps map[R]unit.BitRate, remaining []float64) []float64 {
 	rates := make([]float64, len(flows))
 	frozen := make([]bool, len(flows))
-	// Residual capacity in bytes/second.
+	// Residual capacity in bytes/second. order fixes the bottleneck
+	// scan to first-use order so equal-share ties always resolve the
+	// same way regardless of map iteration order.
 	residual := make(map[R]float64, len(caps))
 	users := make(map[R]int, len(caps))
+	var order []R
 	for i, f := range flows {
 		if remaining[i] <= 0 {
 			frozen[i] = true
 			continue
 		}
 		for _, r := range f.Via {
+			if users[r] == 0 {
+				order = append(order, r)
+				residual[r] = caps[r].BytesPerSecond()
+			}
 			users[r]++
 		}
-	}
-	for r, n := range users {
-		_ = n
-		residual[r] = caps[r].BytesPerSecond()
 	}
 
 	for {
@@ -145,7 +148,8 @@ func fairRates[R comparable](flows []Flow[R], caps map[R]unit.BitRate, remaining
 		var bestR R
 		best := math.Inf(1)
 		found := false
-		for r, n := range users {
+		for _, r := range order {
+			n := users[r]
 			if n == 0 {
 				continue
 			}

@@ -61,6 +61,9 @@ const (
 	LossMZI
 	LossCoupling
 	LossFiber
+	// LossDefect is fault-induced degradation (a contaminated or
+	// delaminated waveguide region) injected by the chaos engine.
+	LossDefect
 )
 
 var lossKindNames = [...]string{
@@ -70,6 +73,7 @@ var lossKindNames = [...]string{
 	LossMZI:         "mzi",
 	LossCoupling:    "coupling",
 	LossFiber:       "fiber",
+	LossDefect:      "defect",
 }
 
 // String names the loss kind.

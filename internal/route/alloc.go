@@ -14,6 +14,10 @@ import (
 // for a circuit request.
 var ErrNoPath = errors.New("route: no feasible circuit path")
 
+// ErrEndpointFailed reports a circuit request whose endpoint chip is
+// failed hardware; no amount of re-pathfinding can help.
+var ErrEndpointFailed = errors.New("route: circuit endpoint chip has failed")
+
 // Allocator establishes circuits with a global view of the rack's
 // waveguide and fiber occupancy (the "centralized controller" of the
 // paper's §5).
@@ -301,6 +305,16 @@ func (a *Allocator) Establish(req Request, now unit.Seconds) (*Circuit, error) {
 	if req.Width <= 0 {
 		return nil, fmt.Errorf("route: non-positive width %d", req.Width)
 	}
+	// Out-of-range chips would panic deep inside rack.Place; a request
+	// is external input and must fail with an error instead.
+	for _, chip := range [2]int{req.A, req.B} {
+		if chip < 0 || chip >= a.rack.NumChips() {
+			return nil, fmt.Errorf("route: chip %d out of range [0, %d)", chip, a.rack.NumChips())
+		}
+		if !a.rack.TileOf(chip).ChipHealthy() {
+			return nil, fmt.Errorf("%w: chip %d", ErrEndpointFailed, chip)
+		}
+	}
 	plans := a.candidatePlans(req.A, req.B)
 	var lastErr error = ErrNoPath
 	for _, p := range plans {
@@ -337,6 +351,21 @@ func (a *Allocator) commit(req Request, p plan, now unit.Seconds) (c *Circuit, e
 			a.releaseEndpoint(req.B, req.Width)
 		}
 	}()
+
+	// Severed bus segments and stuck switches are hard health failures:
+	// prune the plan before allocating anything so the rollback path
+	// never has to undo switch programming.
+	for _, st := range p.steps {
+		if a.rack.Wafer(st.wafer).SpanSevered(st.o, st.lane, st.span) {
+			return nil, fmt.Errorf("route: %s lane %d span [%d,%d] on wafer %d crosses a severed segment",
+				st.o, st.lane, st.span.Lo, st.span.Hi, st.wafer)
+		}
+	}
+	for _, su := range a.planSwitches(req, p) {
+		if !su.tile.SwitchHealthy(su.sw) {
+			return nil, fmt.Errorf("route: tile (%d,%d) switch %d is stuck", su.tile.Row, su.tile.Col, su.sw)
+		}
+	}
 
 	for _, st := range p.steps {
 		ref, aerr := a.rack.Wafer(st.wafer).AllocBus(st.o, st.lane, st.span)
@@ -426,6 +455,13 @@ func (a *Allocator) evaluate(p plan, segs []Segment, fibers []wafer.FiberRef) ph
 			}
 		}
 		elems = append(elems, a.loss.Propagation(unit.Meters(length)*cfg.TileEdge))
+		// Fault-induced degradation on the span (chaos engine's
+		// waveguide faults) is charged like any other loss element, so
+		// a degraded-but-surviving path is accepted exactly when its
+		// budget still closes.
+		if extra := a.rack.Wafer(s.Wafer).SpanExtraLossDB(s.Ref.Orient, s.Ref.Lane, s.Ref.Span); extra > 0 {
+			elems = append(elems, phy.LossElement{Kind: phy.LossDefect, DB: unit.Decibel(extra)})
+		}
 	}
 	for t := 0; t < p.turns; t++ {
 		elems = append(elems, a.loss.Crossing())
@@ -436,22 +472,26 @@ func (a *Allocator) evaluate(p plan, segs []Segment, fibers []wafer.FiberRef) ph
 	return a.Budget.Evaluate(elems)
 }
 
-// programSwitches drives the endpoint tiles' MZI switches toward the
-// circuit's first bus. The concrete port assignment is cosmetic for
-// the simulation; what matters is that the settle clock starts, making
-// ReadyAt = now + 3.7 us observable hardware state.
-func (a *Allocator) programSwitches(req Request, p plan, now unit.Seconds) {
-	for _, chip := range [2]int{req.A, req.B} {
-		tile := a.rack.TileOf(chip)
-		// Switch 0 faces the Tx/Rx block; route it to the bus.
-		_ = tile.Switches[0].Program(0, now)
+// switchUse pairs a tile with the switch index a plan programs there.
+type switchUse struct {
+	tile *wafer.Tile
+	sw   int
+}
+
+// planSwitches lists the switches a plan needs to program: switch 0 at
+// each endpoint tile (facing the Tx/Rx block) and switch 1 at each
+// turn tile, where one step ends and the next begins. commit checks
+// these for stuck-state health before allocating, and programSwitches
+// drives them after.
+func (a *Allocator) planSwitches(req Request, p plan) []switchUse {
+	uses := []switchUse{
+		{tile: a.rack.TileOf(req.A), sw: 0},
+		{tile: a.rack.TileOf(req.B), sw: 0},
 	}
 	for i := range p.steps {
 		if i == 0 {
 			continue
 		}
-		// The turn happens at the tile where step i-1 ends and step i
-		// begins; program one switch there.
 		st := p.steps[i]
 		var row, col int
 		if st.o == wafer.Horizontal {
@@ -461,8 +501,24 @@ func (a *Allocator) programSwitches(req Request, p plan, now unit.Seconds) {
 			col = st.lane
 			row = clampToSpan(p.steps[i-1], st)
 		}
-		tile := a.rack.Wafer(st.wafer).Tile(row, col)
-		_ = tile.Switches[1].Program(1, now)
+		uses = append(uses, switchUse{tile: a.rack.Wafer(st.wafer).Tile(row, col), sw: 1})
+	}
+	return uses
+}
+
+// programSwitches drives the plan's MZI switches toward the circuit's
+// buses. The concrete port assignment is cosmetic for the simulation;
+// what matters is that the settle clock starts, making ReadyAt =
+// now + 3.7 us observable hardware state. commit verified the switches
+// are healthy, so Program cannot fail here.
+func (a *Allocator) programSwitches(req Request, p plan, now unit.Seconds) {
+	for i, su := range a.planSwitches(req, p) {
+		port := 1
+		if i < 2 {
+			// The endpoint switch routes the Tx/Rx block to the bus.
+			port = 0
+		}
+		_ = su.tile.Switches[su.sw].Program(port, now)
 	}
 }
 

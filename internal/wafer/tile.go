@@ -26,6 +26,9 @@ type Switch13 struct {
 	port  int
 	// lastProgram is when the most recent Program was issued.
 	lastProgram unit.Seconds
+	// stuck marks a failed switch frozen in its current state: the
+	// established path keeps working, but Program is refused.
+	stuck bool
 }
 
 // Port returns the commanded output port (0, 1 or 2).
@@ -36,6 +39,9 @@ func (s *Switch13) Port() int { return s.port }
 func (s *Switch13) Program(port int, now unit.Seconds) error {
 	if port < 0 || port >= SwitchDegree {
 		return fmt.Errorf("wafer: switch port %d out of range [0, %d)", port, SwitchDegree)
+	}
+	if s.stuck {
+		return fmt.Errorf("wafer: switch is stuck and cannot be reprogrammed")
 	}
 	// Stage 0: Bar selects port 0 directly; Cross forwards to stage 1.
 	// Stage 1: Bar selects port 1; Cross selects port 2.
@@ -68,11 +74,13 @@ type Tile struct {
 	// Switches are the tile's four 1x3 MZI switches.
 	Switches [SwitchesPerTile]Switch13
 
-	lasers      int // total lasers (wavelengths)
-	serdesPorts int // total SerDes ports
-	lasersUsed  int
-	portsUsed   int
-	capacity    unit.BitRate // per wavelength
+	lasers       int // total lasers (wavelengths)
+	serdesPorts  int // total SerDes ports
+	lasersUsed   int
+	lasersFailed int
+	portsUsed    int
+	chipFailed   bool
+	capacity     unit.BitRate // per wavelength
 }
 
 func newTile(row, col int, cfg Config) *Tile {
@@ -85,8 +93,11 @@ func newTile(row, col int, cfg Config) *Tile {
 	}
 }
 
-// FreeLasers returns the number of unallocated wavelengths.
-func (t *Tile) FreeLasers() int { return t.lasers - t.lasersUsed }
+// FreeLasers returns the number of unallocated, still-working
+// wavelengths. Failed lasers are charged against free capacity first;
+// when failures exceed the free pool, circuits already holding the
+// remainder are over-committed and must be invalidated by the caller.
+func (t *Tile) FreeLasers() int { return t.lasers - t.lasersUsed - t.lasersFailed }
 
 // FreePorts returns the number of unallocated SerDes ports.
 func (t *Tile) FreePorts() int { return t.serdesPorts - t.portsUsed }

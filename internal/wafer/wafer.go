@@ -124,6 +124,9 @@ type Wafer struct {
 	// hLanes[row] and vLanes[col] are the bus lanes.
 	hLanes []*busLane
 	vLanes []*busLane
+	// degraded maps bus-lane positions to fault-induced extra loss in
+	// dB (see health.go); nil until the first fault.
+	degraded map[segKey]float64
 }
 
 // New constructs a wafer from the configuration.
