@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet check chaos-smoke
+.PHONY: all build test race lint fmt vet check chaos-smoke bench bench-smoke
 
 all: check
 
@@ -35,14 +35,30 @@ vet:
 	$(GO) vet ./...
 
 ## chaos-smoke: run the fault-injection experiment with the pinned seed
-## and diff its CSV against the committed golden. Any divergence means
-## the failure lifecycle lost bit-for-bit determinism.
+## — once parallel, once sequential — and diff both CSVs against the
+## committed golden. Any divergence means the failure lifecycle lost
+## bit-for-bit determinism (or the parallel engine broke its contract).
 chaos-smoke:
-	@tmp=$$(mktemp -d); \
-	$(GO) run ./cmd/lightpath-sim chaos -seed 2024 -trials 8 -n 262144 -csv $$tmp >/dev/null && \
-	diff -u cmd/lightpath-sim/testdata/chaos_golden.csv $$tmp/chaos.csv; \
-	rc=$$?; rm -rf $$tmp; \
+	@tmp=$$(mktemp -d); rc=0; \
+	for par in true false; do \
+		$(GO) run ./cmd/lightpath-sim chaos -seed 2024 -trials 8 -n 262144 -parallel=$$par -csv $$tmp >/dev/null && \
+		diff -u cmd/lightpath-sim/testdata/chaos_golden.csv $$tmp/chaos.csv || rc=1; \
+	done; rm -rf $$tmp; \
 	if [ $$rc -ne 0 ]; then echo "chaos CSV diverged from golden (seed 2024)" >&2; exit 1; fi
 
+## bench: run every benchmark once with allocation stats and write the
+## structured report to BENCH.json (ns/op, allocs/op, and each
+## benchmark's deterministic paper metric). -benchtime=1x keeps the
+## campaign benchmarks cheap; the paper metrics do not depend on
+## iteration count.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./internal/... | $(GO) run ./cmd/lightpath-bench -o BENCH.json
+
+## bench-smoke: the regression gate CI runs — a short benchmark pass
+## whose paper metrics (never timings) must match the committed
+## BENCH_baseline.json bit for bit.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./internal/... | $(GO) run ./cmd/lightpath-bench -baseline BENCH_baseline.json
+
 ## check: everything CI runs, in the same order.
-check: build lint race chaos-smoke
+check: build lint race chaos-smoke bench-smoke

@@ -1,0 +1,85 @@
+// Command lightpath-bench turns `go test -bench` output into the
+// repo's BENCH.json report and gates paper-metric regressions.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | lightpath-bench -o BENCH.json
+//	go test -run '^$' -bench . -benchmem ./... | lightpath-bench -baseline BENCH_baseline.json
+//
+// The report records each benchmark's ns/op, B/op, allocs/op and its
+// custom b.ReportMetric values ("paper metrics"). With -baseline, the
+// paper metrics — and only those; timings are machine-dependent — are
+// diffed against the committed baseline and any divergence fails the
+// run. That is the `make bench-smoke` regression gate: a refactor
+// that changes what the simulation computes cannot slip through as
+// noise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lightpath/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lightpath-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("lightpath-bench", flag.ContinueOnError)
+	outPath := fs.String("o", "", "write the parsed report as JSON to this file (\"-\" for stdout)")
+	basePath := fs.String("baseline", "", "diff paper metrics against this committed report; divergence fails")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := bench.Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin (forgot -bench?)")
+	}
+	if *outPath == "-" {
+		if err := rep.WriteJSON(out); err != nil {
+			return err
+		}
+	} else if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d benchmarks to %s\n", len(rep.Benchmarks), *outPath)
+	}
+	if *basePath != "" {
+		f, err := os.Open(*basePath)
+		if err != nil {
+			return err
+		}
+		base, err := bench.ReadJSON(f)
+		_ = f.Close()
+		if err != nil {
+			return err
+		}
+		if diffs := bench.DiffPaperMetrics(base, rep); len(diffs) > 0 {
+			for _, d := range diffs {
+				fmt.Fprintln(out, "paper-metric regression:", d)
+			}
+			return fmt.Errorf("%d paper metric(s) diverged from %s", len(diffs), *basePath)
+		}
+		fmt.Fprintf(out, "paper metrics match %s (%d benchmarks checked)\n", *basePath, len(base.Benchmarks))
+	}
+	return nil
+}

@@ -41,9 +41,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"lightpath/internal/alloc"
 	"lightpath/internal/core"
+	"lightpath/internal/engine"
 	"lightpath/internal/experiments"
 	"lightpath/internal/viz"
 )
@@ -64,6 +67,9 @@ func run(args []string, out printer) error {
 	samples := fs.Int("samples", 10000, "stitch-loss samples for fig3b")
 	trials := fs.Int("trials", 8, "fault-injection trials for chaos")
 	csvDir := fs.String("csv", "", "directory to also write each experiment's data series as <command>.csv")
+	parallel := fs.Bool("parallel", true, "fan Monte-Carlo campaigns across CPUs (output is identical either way)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if len(args) == 0 {
 		fs.Usage()
 		return fmt.Errorf("missing command (try: all)")
@@ -71,6 +77,32 @@ func run(args []string, out printer) error {
 	cmd := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	engine.SetParallel(*parallel)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lightpath-sim: memprofile:", err)
+				return
+			}
+			defer func() { _ = f.Close() }()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lightpath-sim: memprofile:", err)
+			}
+		}()
 	}
 
 	commands := map[string]func() error{

@@ -88,6 +88,59 @@ func TestRunAll(t *testing.T) {
 	}
 }
 
+func TestParallelFlagOutputIdentical(t *testing.T) {
+	// The -parallel flag must be invisible in the output: same bytes on
+	// stdout and in the exported CSV either way.
+	if raceEnabled {
+		// Two full chaos campaigns don't fit the package's race-mode
+		// timeout budget; the same parallel/sequential equivalence runs
+		// under -race in internal/experiments (TestParallelMatchesSequential).
+		t.Skip("covered under -race by internal/experiments")
+	}
+	outs := make(map[string]string, 2)
+	csvs := make(map[string]string, 2)
+	for _, par := range []string{"true", "false"} {
+		dir := t.TempDir()
+		var buf bytes.Buffer
+		if err := run([]string{"chaos", "-trials", "3", "-parallel=" + par, "-csv", dir}, &buf); err != nil {
+			t.Fatalf("-parallel=%s: %v", par, err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "chaos.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[par] = buf.String()
+		csvs[par] = string(data)
+	}
+	if outs["true"] != outs["false"] {
+		t.Errorf("stdout differs between -parallel modes:\n--- parallel ---\n%s\n--- sequential ---\n%s",
+			outs["true"], outs["false"])
+	}
+	if csvs["true"] != csvs["false"] {
+		t.Errorf("CSV differs between -parallel modes:\n--- parallel ---\n%s\n--- sequential ---\n%s",
+			csvs["true"], csvs["false"])
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var buf bytes.Buffer
+	if err := run([]string{"info", "-cpuprofile", cpu, "-memprofile", mem}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
 func TestCSVExport(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer

@@ -1,0 +1,9 @@
+//go:build race
+
+package main
+
+// raceEnabled reports that this binary was built with -race; the
+// slowest CLI tests skip themselves to keep the package inside the
+// test timeout (their logic is race-covered at the package level in
+// internal/experiments and internal/engine).
+const raceEnabled = true

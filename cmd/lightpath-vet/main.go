@@ -1,6 +1,7 @@
 // Command lightpath-vet runs the repository's static-analysis suite:
 // repo-specific analyzers that enforce determinism, unit safety, the
-// package layering DAG, error handling, and export documentation. It
+// package layering DAG, error handling, export documentation, and
+// allocation-free hot loops (//lightpath:hotloop directives). It
 // is built entirely on the standard library (go/parser + go/types) so
 // the module stays dependency-free.
 //

@@ -25,7 +25,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exited %d: %s", code, stderr.String())
 	}
-	for _, name := range []string{"determinism", "unitsafety", "layering", "errdrop", "exportdoc"} {
+	for _, name := range []string{"determinism", "unitsafety", "layering", "errdrop", "exportdoc", "hotalloc"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
 		}

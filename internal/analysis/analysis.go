@@ -15,6 +15,8 @@
 //   - layering: the package dependency DAG is explicit and enforced.
 //   - errdrop: error returns may not be silently discarded.
 //   - exportdoc: exported identifiers under internal/... are documented.
+//   - hotalloc: loops marked //lightpath:hotloop may not allocate
+//     slices or maps per iteration.
 package analysis
 
 import (
@@ -89,7 +91,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, UnitSafety, Layering, ErrDrop, ExportDoc}
+	return []*Analyzer{Determinism, UnitSafety, Layering, ErrDrop, ExportDoc, Hotalloc}
 }
 
 // Run applies each analyzer to each package and returns the combined

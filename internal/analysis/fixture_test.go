@@ -49,6 +49,10 @@ func TestExportDocSkipsExternal(t *testing.T) {
 	runFixtureTest(t, ExportDoc, "exportdoc_external", "fixture/external")
 }
 
+func TestHotallocFixture(t *testing.T) {
+	runFixtureTest(t, Hotalloc, "hotalloc", "fixture/hotalloc")
+}
+
 // wantRe matches one `// want `regexp“ expectation comment.
 var wantRe = regexp.MustCompile("// want `([^`]*)`")
 

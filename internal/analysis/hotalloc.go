@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotalloc flags per-iteration heap allocation inside loops marked
+// with a `//lightpath:hotloop` directive comment on the line directly
+// above the loop. The marked loops are the simulator's measured hot
+// paths (circuit planning in internal/route, the fluid solver in
+// internal/netsim): their steady-state cost is what `make bench`
+// records, and an innocuous `make` or map literal reintroduced inside
+// one silently regresses allocs/op. Flagged constructs are calls to
+// the make and new builtins and composite literals of slice or map
+// type; append stays legal (amortized into reused capacity) and
+// struct composite literals stay legal (they are values, not heap
+// allocations, unless escape analysis says otherwise — which the
+// benchmark gate, not a lexical check, polices).
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag make/new calls and slice or map literals inside //lightpath:hotloop-marked loops",
+	Run:  runHotalloc,
+}
+
+// hotloopDirective is the marker comment, written verbatim on its own
+// line immediately above a for or range statement.
+const hotloopDirective = "//lightpath:hotloop"
+
+func runHotalloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		// Lines whose comment is exactly the directive.
+		marked := map[int]bool{}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if c.Text == hotloopDirective {
+					marked[pass.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		if len(marked) == 0 {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			if !marked[pass.Fset.Position(n.Pos()).Line-1] {
+				return true
+			}
+			checkHotLoopBody(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkHotLoopBody reports every allocating construct lexically inside
+// a marked loop body.
+func checkHotLoopBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name := builtinName(pass, n); name == "make" || name == "new" {
+				pass.Reportf(n.Pos(), "%s allocates inside a hot loop; hoist the buffer out of the loop or reuse scratch capacity", name)
+			}
+		case *ast.CompositeLit:
+			t := pass.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates inside a hot loop; hoist the buffer out of the loop or reuse scratch capacity")
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates inside a hot loop; hoist the map out of the loop and clear() it per iteration")
+			}
+		}
+		return true
+	})
+}
+
+// builtinName returns the name of the builtin a call invokes, or "".
+func builtinName(pass *Pass, call *ast.CallExpr) string {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := pass.ObjectOf(id).(*types.Builtin); !ok {
+		return ""
+	}
+	return id.Name
+}

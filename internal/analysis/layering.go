@@ -22,6 +22,8 @@ const internalPrefix = "lightpath/internal/"
 var LayerRanks = map[string]int{
 	"analysis":    0,
 	"chaos":       10,
+	"engine":      0,
+	"bench":       0,
 	"rng":         0,
 	"unit":        0,
 	"torus":       10,

@@ -1,0 +1,58 @@
+// Package hotalloc exercises the hotalloc analyzer: allocation inside
+// //lightpath:hotloop-marked loops is flagged; the same constructs in
+// unmarked loops, and non-allocating constructs in marked loops, are
+// not.
+package hotalloc
+
+// point is a value type; its composite literal is legal in hot loops.
+type point struct{ x, y int }
+
+func hot(n int) int {
+	sum := 0
+	buf := make([]int, 0, n) // legal: hoisted above the loop
+	seen := map[int]bool{}   // legal: hoisted above the loop
+	//lightpath:hotloop
+	for i := 0; i < n; i++ {
+		s := make([]int, n)    // want `make allocates inside a hot loop`
+		p := new(point)        // want `new allocates inside a hot loop`
+		m := map[int]int{}     // want `map literal allocates inside a hot loop`
+		l := []int{1, 2, 3}    // want `slice literal allocates inside a hot loop`
+		v := point{x: i, y: i} // legal: struct literal is a value
+		buf = append(buf, i)   // legal: append reuses capacity
+		seen[i] = true
+		sum += len(s) + p.x + len(m) + len(l) + v.x
+	}
+	return sum
+}
+
+func hotRange(xs []int) int {
+	sum := 0
+	//lightpath:hotloop
+	for _, x := range xs {
+		tmp := make([]int, 1) // want `make allocates inside a hot loop`
+		tmp[0] = x
+		sum += tmp[0]
+	}
+	return sum
+}
+
+func hotNested(n int) int {
+	sum := 0
+	//lightpath:hotloop
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			inner := []int{j} // want `slice literal allocates inside a hot loop`
+			sum += inner[0]
+		}
+	}
+	return sum
+}
+
+func cold(n int) []int {
+	var out []int
+	// An ordinary comment does not arm the check.
+	for i := 0; i < n; i++ {
+		out = append(out, make([]int, 1)...) // legal: loop is not marked
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+// Package bench parses `go test -bench` output into a structured
+// report, encodes it as BENCH.json, and diffs the deterministic paper
+// metrics of two reports. The regression gate (`make bench-smoke`)
+// compares paper metrics only — a benchmark's ns/op depends on the
+// machine, but its b.ReportMetric values are computed from seeded
+// simulations and must match the committed baseline bit for bit.
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped,
+	// so reports from machines with different core counts diff cleanly.
+	Name string `json:"name"`
+	// Iterations is the b.N the timing was measured over.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are the standard Go
+	// benchmark outputs (Bytes/Allocs require -benchmem).
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// PaperMetrics holds every custom b.ReportMetric unit: the
+	// simulation quantities the paper cares about (MTTR, stranded
+	// bandwidth, loss budget). These are seed-deterministic.
+	PaperMetrics map[string]float64 `json:"paper_metrics,omitempty"`
+}
+
+// Report is the BENCH.json document: every benchmark of one pass.
+type Report struct {
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// stripProcs removes the trailing -N GOMAXPROCS suffix Go appends to
+// benchmark names.
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Parse reads `go test -bench` text output and collects every
+// benchmark result line. Non-benchmark lines (package headers, PASS,
+// ok) are ignored, so the raw tool output pipes straight in.
+func Parse(r io.Reader) (Report, error) {
+	var rep Report
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Name: stripProcs(fields[0]), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return rep, fmt.Errorf("bench: bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			case "MB/s":
+				// Throughput is machine-dependent like ns/op; drop it.
+			default:
+				if e.PaperMetrics == nil {
+					e.PaperMetrics = map[string]float64{}
+				}
+				e.PaperMetrics[unit] = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+	if err := sc.Err(); err != nil {
+		return rep, fmt.Errorf("bench: %w", err)
+	}
+	return rep, nil
+}
+
+// WriteJSON encodes the report, sorted by benchmark name so the file
+// is diff-stable regardless of package test order.
+func (r Report) WriteJSON(w io.Writer) error {
+	sorted := make([]Entry, len(r.Benchmarks))
+	copy(sorted, r.Benchmarks)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Report{Benchmarks: sorted})
+}
+
+// ReadJSON decodes a report written by WriteJSON.
+func ReadJSON(r io.Reader) (Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("bench: %w", err)
+	}
+	return rep, nil
+}
+
+// byName indexes a report's entries.
+func (r Report) byName() map[string]Entry {
+	m := make(map[string]Entry, len(r.Benchmarks))
+	for _, e := range r.Benchmarks {
+		m[e.Name] = e
+	}
+	return m
+}
+
+// DiffPaperMetrics compares the paper metrics of current against
+// baseline and returns one human-readable line per divergence. Only
+// benchmarks and metrics present in the baseline are checked — adding
+// a new benchmark is not a regression — and timings are never
+// compared. An empty result means the gate passes.
+func DiffPaperMetrics(baseline, current Report) []string {
+	var diffs []string
+	cur := current.byName()
+	for _, want := range baseline.Benchmarks {
+		got, ok := cur[want.Name]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%s: benchmark missing from current run", want.Name))
+			continue
+		}
+		names := make([]string, 0, len(want.PaperMetrics))
+		for name := range want.PaperMetrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			wv := want.PaperMetrics[name]
+			gv, ok := got.PaperMetrics[name]
+			if !ok {
+				diffs = append(diffs, fmt.Sprintf("%s: paper metric %q missing from current run", want.Name, name))
+				continue
+			}
+			if gv != wv {
+				diffs = append(diffs, fmt.Sprintf("%s: %s = %v, baseline %v", want.Name, name, gv, wv))
+			}
+		}
+	}
+	return diffs
+}

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: lightpath/internal/experiments
+BenchmarkTenantSweep-8   	      10	  123456 ns/op	    2345 B/op	      67 allocs/op	         0.420 stranded_frac
+BenchmarkChaos-8         	       2	 9876543 ns/op	  887766 B/op	    5544 allocs/op	        16.00 blast_ratio
+BenchmarkThroughput-8    	     100	    1000 ns/op	 512.00 MB/s
+PASS
+ok  	lightpath/internal/experiments	1.234s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	ts := rep.Benchmarks[0]
+	if ts.Name != "BenchmarkTenantSweep" {
+		t.Fatalf("name = %q (procs suffix not stripped?)", ts.Name)
+	}
+	if ts.Iterations != 10 || ts.NsPerOp != 123456 || ts.BytesPerOp != 2345 || ts.AllocsPerOp != 67 {
+		t.Fatalf("standard fields wrong: %+v", ts)
+	}
+	if ts.PaperMetrics["stranded_frac"] != 0.420 {
+		t.Fatalf("paper metric wrong: %+v", ts.PaperMetrics)
+	}
+	if rep.Benchmarks[1].PaperMetrics["blast_ratio"] != 16 {
+		t.Fatalf("chaos metric wrong: %+v", rep.Benchmarks[1])
+	}
+	// MB/s is machine-dependent and must not land in paper metrics.
+	if len(rep.Benchmarks[2].PaperMetrics) != 0 {
+		t.Fatalf("MB/s leaked into paper metrics: %+v", rep.Benchmarks[2])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != len(rep.Benchmarks) {
+		t.Fatalf("round trip lost benchmarks: %d vs %d", len(back.Benchmarks), len(rep.Benchmarks))
+	}
+	// WriteJSON sorts by name: BenchmarkChaos first.
+	if back.Benchmarks[0].Name != "BenchmarkChaos" {
+		t.Fatalf("not sorted: first = %q", back.Benchmarks[0].Name)
+	}
+	if back.Benchmarks[1].PaperMetrics["stranded_frac"] != 0.420 {
+		t.Fatalf("metrics lost: %+v", back.Benchmarks[1])
+	}
+}
+
+func TestDiffPaperMetrics(t *testing.T) {
+	base, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("identical", func(t *testing.T) {
+		if diffs := DiffPaperMetrics(base, base); len(diffs) != 0 {
+			t.Fatalf("self-diff not empty: %v", diffs)
+		}
+	})
+	t.Run("timings-ignored", func(t *testing.T) {
+		cur, _ := Parse(strings.NewReader(strings.ReplaceAll(sample, "123456 ns/op", "999999 ns/op")))
+		if diffs := DiffPaperMetrics(base, cur); len(diffs) != 0 {
+			t.Fatalf("timing change flagged: %v", diffs)
+		}
+	})
+	t.Run("metric-drift", func(t *testing.T) {
+		cur, _ := Parse(strings.NewReader(strings.ReplaceAll(sample, "0.420 stranded_frac", "0.500 stranded_frac")))
+		diffs := DiffPaperMetrics(base, cur)
+		if len(diffs) != 1 || !strings.Contains(diffs[0], "stranded_frac") {
+			t.Fatalf("drift not caught: %v", diffs)
+		}
+	})
+	t.Run("missing-benchmark", func(t *testing.T) {
+		cur := Report{}
+		diffs := DiffPaperMetrics(base, cur)
+		if len(diffs) != 3 {
+			t.Fatalf("want 3 missing-benchmark diffs, got %v", diffs)
+		}
+	})
+	t.Run("new-benchmark-ok", func(t *testing.T) {
+		cur := Report{Benchmarks: append([]Entry{{Name: "BenchmarkNew"}}, base.Benchmarks...)}
+		if diffs := DiffPaperMetrics(base, cur); len(diffs) != 0 {
+			t.Fatalf("new benchmark flagged: %v", diffs)
+		}
+	})
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestEveryBenchmarkReportsOnePaperMetric is the harness guard: each
+// Benchmark* function in any bench_test.go must call b.ReportMetric
+// exactly once, so BENCH.json carries exactly one deterministic paper
+// metric per benchmark for the regression diff.
+func TestEveryBenchmarkReportsOnePaperMetric(t *testing.T) {
+	root := moduleRoot(t)
+	var checked int
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			if name := info.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if info.Name() != "bench_test.go" || strings.Contains(path, "internal/bench") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil || !strings.HasPrefix(fn.Name.Name, "Benchmark") {
+				continue
+			}
+			count := 0
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "ReportMetric" {
+					count++
+				}
+				return true
+			})
+			if count != 1 {
+				rel, _ := filepath.Rel(root, path)
+				t.Errorf("%s: %s calls ReportMetric %d times, want exactly 1", rel, fn.Name.Name, count)
+			}
+			checked++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("no benchmarks found in any bench_test.go — harness wiring broken")
+	}
+}

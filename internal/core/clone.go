@@ -1,0 +1,19 @@
+package core
+
+// Clone returns a deep copy of the fabric: the rack hardware and the
+// circuit allocator are duplicated (sharing no mutable state with the
+// original), the logical torus — which is immutable — is shared, and
+// the random streams are copied at their current position. A clone of
+// a pristine fabric is indistinguishable from calling New with the
+// same options, so Monte-Carlo campaigns build the fabric once and
+// clone it per trial instead of re-running the constructor.
+func (f *Fabric) Clone() *Fabric {
+	alloc := f.alloc.Clone()
+	return &Fabric{
+		torus:  f.torus,
+		rack:   alloc.Rack(),
+		alloc:  alloc,
+		params: f.params,
+		rand:   f.rand.Clone(),
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"lightpath/internal/route"
+)
+
+// establishSome drives a fixed circuit sequence and returns the total
+// optical loss across the established circuits — a fingerprint that
+// covers pathfinding, occupancy, and the stochastic stitch-loss
+// stream.
+func establishSome(t *testing.T, f *Fabric) float64 {
+	t.Helper()
+	total := 0.0
+	for _, pair := range [][2]int{{0, 9}, {3, 40}, {17, 55}, {2, 6}} {
+		c, err := f.Circuits().Establish(route.Request{A: pair[0], B: pair[1], Width: 2}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += float64(c.Link.TotalLossDB)
+	}
+	return total
+}
+
+// TestFabricCloneEquivalentToNew: cloning a pristine fabric must be
+// indistinguishable from constructing a fresh one with the same seed —
+// the property that lets campaigns build once and clone per trial.
+func TestFabricCloneEquivalentToNew(t *testing.T) {
+	build := func() *Fabric {
+		f, err := New(Options{Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	proto := build()
+	fresh := build()
+	clone := proto.Clone()
+
+	want := establishSome(t, fresh)
+	got := establishSome(t, clone)
+	if got != want {
+		t.Fatalf("clone total loss %v dB, fresh fabric %v dB", got, want)
+	}
+	// The prototype must be untouched by the clone's activity.
+	if n := len(proto.Circuits().Circuits()); n != 0 {
+		t.Fatalf("prototype gained %d circuits from its clone", n)
+	}
+	if h := proto.Hardware().Health(); h.FailedChips != 0 {
+		t.Fatalf("prototype health changed: %v", h)
+	}
+	// And a second clone of the same prototype replays identically.
+	if again := establishSome(t, proto.Clone()); again != want {
+		t.Fatalf("second clone total loss %v dB, want %v", again, want)
+	}
+}
+
+// TestFabricCloneIsolation: faults applied to a clone never reach the
+// original fabric.
+func TestFabricCloneIsolation(t *testing.T) {
+	f, err := New(Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	establishSome(t, f)
+	c := f.Clone()
+	if got, want := len(c.Circuits().Circuits()), len(f.Circuits().Circuits()); got != want {
+		t.Fatalf("clone has %d circuits, want %d", got, want)
+	}
+	c.Hardware().TileOf(9).FailChip()
+	for _, circ := range c.Circuits().Circuits() {
+		c.Circuits().Release(circ)
+	}
+	if !f.Hardware().TileOf(9).ChipHealthy() {
+		t.Fatal("chip failure leaked from clone to original")
+	}
+	if got := len(f.Circuits().Circuits()); got != 4 {
+		t.Fatalf("original lost circuits to the clone's release: %d left", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"lightpath/internal/collective"
 	"lightpath/internal/cost"
+	"lightpath/internal/engine"
 	"lightpath/internal/rng"
 	"lightpath/internal/route"
 	"lightpath/internal/torus"
@@ -45,25 +46,29 @@ func AblationAllocation(seed uint64, requests int) (AblationAllocResult, error) 
 		cfg.BusesPerLane = 4
 		return wafer.NewRack(cfg, 1)
 	}
-	var reqs []route.Request
-	for i := 0; i < requests; i++ {
-		reqs = append(reqs, route.Request{A: i % 8, B: 24 + (i+1)%8, Width: 1})
-	}
-
-	rackA, err := mkRack()
+	// The two regimes are independent (each builds its own rack,
+	// allocator, and seed-derived streams, and value-copies the request
+	// list), so they run as two engine trials.
+	outs, err := engine.Map(2, func(i int) (route.BatchOutcome, error) {
+		reqs := make([]route.Request, 0, requests)
+		for j := 0; j < requests; j++ {
+			reqs = append(reqs, route.Request{A: j % 8, B: 24 + (j+1)%8, Width: 1})
+		}
+		rack, err := mkRack()
+		if err != nil {
+			return route.BatchOutcome{}, err
+		}
+		a := route.NewAllocator(rack, rng.New(seed))
+		if i == 0 {
+			return a.EstablishBatch(reqs, 0), nil
+		}
+		dec := route.NewDecentralized(a, rng.New(seed).Split("order"))
+		return dec.EstablishBatch(reqs, 0), nil
+	})
 	if err != nil {
 		return AblationAllocResult{}, err
 	}
-	central := route.NewAllocator(rackA, rng.New(seed))
-	outC := central.EstablishBatch(reqs, 0)
-
-	rackB, err := mkRack()
-	if err != nil {
-		return AblationAllocResult{}, err
-	}
-	decAlloc := route.NewAllocator(rackB, rng.New(seed))
-	dec := route.NewDecentralized(decAlloc, rng.New(seed).Split("order"))
-	outD := dec.EstablishBatch(reqs, 0)
+	outC, outD := outs[0], outs[1]
 
 	return AblationAllocResult{
 		Requests:             requests,

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"testing"
+
+	"lightpath/internal/engine"
+	"lightpath/internal/unit"
+)
+
+// The campaign benchmarks behind `make bench`: each runs one
+// Monte-Carlo campaign end to end and reports exactly one paper
+// metric via b.ReportMetric — a seed-deterministic simulation
+// quantity that `make bench-smoke` diffs against BENCH_baseline.json.
+// The Seq/Par pairs measure the engine's fan-out: on a multi-core
+// machine Par's ns/op should sit well below Seq's, while the paper
+// metric is identical by the determinism contract.
+
+// benchSequential forces the engine sequential for one benchmark.
+func benchSequential(b *testing.B) {
+	engine.SetParallel(false)
+	b.Cleanup(func() { engine.SetParallel(true) })
+}
+
+func BenchmarkTenantSweepSeq(b *testing.B) {
+	benchSequential(b)
+	var res TenantSweepResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		if res, err = TenantSweep(6, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ElecMean, "elec_mean_util")
+}
+
+func BenchmarkTenantSweepPar(b *testing.B) {
+	var res TenantSweepResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		if res, err = TenantSweep(6, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ElecMean, "elec_mean_util")
+}
+
+func BenchmarkRepairabilitySeq(b *testing.B) {
+	benchSequential(b)
+	var res RepairabilityResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		if res, err = Repairability(21, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.OpticalOK)/float64(res.Trials), "optical_ok_frac")
+}
+
+func BenchmarkRepairabilityPar(b *testing.B) {
+	var res RepairabilityResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		if res, err = Repairability(21, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.OpticalOK)/float64(res.Trials), "optical_ok_frac")
+}
+
+func BenchmarkChaosSeq(b *testing.B) {
+	benchSequential(b)
+	var res ChaosResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		if res, err = Chaos(2024, 3, unit.MB); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.BlastRatio, "blast_ratio")
+}
+
+func BenchmarkChaosPar(b *testing.B) {
+	var res ChaosResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		if res, err = Chaos(2024, 3, unit.MB); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.BlastRatio, "blast_ratio")
+}
+
+func BenchmarkScheduler(b *testing.B) {
+	var res SchedulerResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		if res, err = Scheduler(1, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Rows[0].CachingReconfigs), "caching_reconfigs")
+}

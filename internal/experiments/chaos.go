@@ -8,6 +8,7 @@ import (
 	"lightpath/internal/alloc"
 	"lightpath/internal/chaos"
 	"lightpath/internal/core"
+	"lightpath/internal/engine"
 	"lightpath/internal/unit"
 )
 
@@ -162,11 +163,28 @@ func Chaos(seed uint64, trials int, bufferBytes unit.Bytes) (ChaosResult, error)
 	}
 	numSteps := probePlan.Schedule.NumSteps()
 
+	// One pristine fabric, cloned per trial: a clone of an untouched
+	// fabric is bit-identical to calling core.New with the same seed
+	// (the random streams are never advanced before cloning), so the
+	// campaign skips the full hardware construction in every trial.
+	proto, err := core.New(core.Options{RackShape: sc.Torus.Shape(), Seed: seed})
+	if err != nil {
+		return ChaosResult{}, err
+	}
+
 	res := ChaosResult{AllCorrect: true, WithinBound: true}
 	var sumMTTR, sumGoodput float64
 	var sumOpt, sumElec float64
 	pol := core.DefaultChaosPolicy()
-	for i := 0; i < trials; i++ {
+	type chaosOutcome struct {
+		trial    ChaosTrial
+		bound    unit.Seconds
+		overTwox bool
+	}
+	// Trials are independent: each clones its own hardware and its
+	// inputs (fault arrival, fail step) are precomputed above, so the
+	// engine fans them out and the loop below merges in trial order.
+	outcomes, err := engine.Map(trials, func(i int) (chaosOutcome, error) {
 		f := chipFaults[i]
 		victim := sliceChips[f.Chip]
 		// Collectives run back-to-back, each lasting CleanTime; the
@@ -181,36 +199,43 @@ func Chaos(seed uint64, trials int, bufferBytes unit.Bytes) (ChaosResult, error)
 
 		// Fresh hardware per trial: failures must not accumulate
 		// across the campaign.
-		fabric, err := core.New(core.Options{RackShape: sc.Torus.Shape(), Seed: seed})
-		if err != nil {
-			return ChaosResult{}, err
-		}
+		fabric := proto.Clone()
 		outcome, err := fabric.RunAllReduceUnderFault(sc.Alloc, victimSlice, bufferBytes, victim, failStep, pol)
 		if err != nil {
-			return ChaosResult{}, fmt.Errorf("experiments: trial %d (chip %d, step %d): %w", i, victim, failStep, err)
+			return chaosOutcome{}, fmt.Errorf("experiments: trial %d (chip %d, step %d): %w", i, victim, failStep, err)
 		}
-		res.RepairBound = outcome.RepairBound
-		res.AllCorrect = res.AllCorrect && outcome.Correct
-		if outcome.RepairTime > 2*outcome.RepairBound {
+		return chaosOutcome{
+			trial: ChaosTrial{
+				Victim:          victim,
+				FailStep:        failStep,
+				FaultTime:       f.Time,
+				Replacement:     outcome.Replacement,
+				MTTR:            outcome.MTTR,
+				Repair:          outcome.RepairTime,
+				Degraded:        outcome.Degraded,
+				Correct:         outcome.Correct,
+				Goodput:         outcome.GoodputFraction,
+				StallOptical:    outcome.StallOptical,
+				StallElectrical: outcome.StallElectrical,
+			},
+			bound:    outcome.RepairBound,
+			overTwox: outcome.RepairTime > 2*outcome.RepairBound,
+		}, nil
+	})
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	for _, o := range outcomes {
+		res.RepairBound = o.bound
+		res.AllCorrect = res.AllCorrect && o.trial.Correct
+		if o.overTwox {
 			res.WithinBound = false
 		}
-		res.Trials = append(res.Trials, ChaosTrial{
-			Victim:          victim,
-			FailStep:        failStep,
-			FaultTime:       f.Time,
-			Replacement:     outcome.Replacement,
-			MTTR:            outcome.MTTR,
-			Repair:          outcome.RepairTime,
-			Degraded:        outcome.Degraded,
-			Correct:         outcome.Correct,
-			Goodput:         outcome.GoodputFraction,
-			StallOptical:    outcome.StallOptical,
-			StallElectrical: outcome.StallElectrical,
-		})
-		sumMTTR += float64(outcome.MTTR)
-		sumGoodput += outcome.GoodputFraction
-		sumOpt += float64(outcome.StallOptical)
-		sumElec += float64(outcome.StallElectrical)
+		res.Trials = append(res.Trials, o.trial)
+		sumMTTR += float64(o.trial.MTTR)
+		sumGoodput += o.trial.Goodput
+		sumOpt += float64(o.trial.StallOptical)
+		sumElec += float64(o.trial.StallElectrical)
 	}
 	n := float64(trials)
 	res.MeanMTTR = unit.Seconds(sumMTTR / n)

@@ -6,6 +6,7 @@ import (
 
 	"lightpath/internal/alloc"
 	"lightpath/internal/core"
+	"lightpath/internal/engine"
 	"lightpath/internal/unit"
 )
 
@@ -59,12 +60,15 @@ func Fig5(buffer unit.Bytes, seed uint64) (Fig5Result, error) {
 	}
 	var res Fig5Result
 	util := core.UtilizationReport(a)
-	for si, u := range util {
+	// Planning is read-only on the fabric, so the per-slice plans fan
+	// out over the shared instance; MaxDrop folds in slice order.
+	rows, err := engine.Map(len(util), func(si int) (Fig5Row, error) {
+		u := util[si]
 		plan, err := fabric.PlanAllReduce(a, si, buffer)
 		if err != nil {
-			return Fig5Result{}, fmt.Errorf("experiments: plan for %s: %w", u.Slice, err)
+			return Fig5Row{}, fmt.Errorf("experiments: plan for %s: %w", u.Slice, err)
 		}
-		row := Fig5Row{
+		return Fig5Row{
 			Slice:          u.Slice,
 			Shape:          a.Slices()[si].Shape.String(),
 			Electrical:     u.Electrical,
@@ -73,8 +77,13 @@ func Fig5(buffer unit.Bytes, seed uint64) (Fig5Result, error) {
 			ElectricalTime: plan.ElectricalTime,
 			OpticalTime:    plan.OpticalTime,
 			Speedup:        plan.Speedup(),
-		}
-		res.Rows = append(res.Rows, row)
+		}, nil
+	})
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	res.Rows = rows
+	for _, u := range util {
 		if u.Optical > 0 {
 			if drop := 1 - u.Electrical/u.Optical; drop > res.MaxDrop {
 				res.MaxDrop = drop
@@ -130,20 +139,29 @@ func Sweep(buffers []unit.Bytes, seed uint64) (SweepResult, error) {
 		return SweepResult{}, err
 	}
 	res := SweepResult{Slice: "Slice-1"}
-	for _, buf := range buffers {
-		plan, err := fabric.PlanAllReduce(a, 0, buf)
+	// Each buffer size plans independently against the read-only
+	// fabric; the crossover scan below runs on the merged, ordered
+	// points so the "smallest winning buffer" answer is unchanged.
+	points, err := engine.Map(len(buffers), func(i int) (SweepPoint, error) {
+		plan, err := fabric.PlanAllReduce(a, 0, buffers[i])
 		if err != nil {
-			return SweepResult{}, err
+			return SweepPoint{}, err
 		}
-		p := SweepPoint{
-			Buffer:         buf,
+		return SweepPoint{
+			Buffer:         buffers[i],
 			ElectricalTime: plan.ElectricalTime,
 			OpticalTime:    plan.OpticalTime,
 			Speedup:        plan.Speedup(),
-		}
-		res.Points = append(res.Points, p)
-		if res.CrossoverBuffer == 0 && p.OpticalTime < p.ElectricalTime {
-			res.CrossoverBuffer = buf
+		}, nil
+	})
+	if err != nil {
+		return SweepResult{}, err
+	}
+	res.Points = points
+	for _, p := range res.Points {
+		if p.OpticalTime < p.ElectricalTime {
+			res.CrossoverBuffer = p.Buffer
+			break
 		}
 	}
 	return res, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"lightpath/internal/engine"
 	"lightpath/internal/hostnet"
 	"lightpath/internal/rng"
 	"lightpath/internal/unit"
@@ -58,24 +59,33 @@ func Hostnet(seed uint64, messages int) (HostnetResult, error) {
 		})
 	}
 	r := rng.New(seed)
-	for _, kind := range []hostnet.WorkloadKind{hostnet.WorkloadRPC, hostnet.WorkloadBulk, hostnet.WorkloadBursty} {
+	kinds := []hostnet.WorkloadKind{hostnet.WorkloadRPC, hostnet.WorkloadBulk, hostnet.WorkloadBursty}
+	// Each workload class draws its trace from a label-derived stream,
+	// so the classes are independent trials: fan them out and merge the
+	// rows in class order.
+	rows, err := engine.Map(len(kinds), func(i int) (HostnetRow, error) {
+		kind := kinds[i]
 		trace := hostnet.GenerateTrace(kind, messages, r.Split(kind.String()))
 		pkt, err := hostnet.RunPacketTrace(p, trace)
 		if err != nil {
-			return HostnetResult{}, err
+			return HostnetRow{}, err
 		}
 		circ, err := hostnet.RunCircuitTrace(p, trace)
 		if err != nil {
-			return HostnetResult{}, err
+			return HostnetRow{}, err
 		}
-		res.Rows = append(res.Rows, HostnetRow{
+		return HostnetRow{
 			Workload:    kind.String(),
 			PacketMean:  pkt.Mean,
 			PacketP99:   pkt.P99,
 			CircuitMean: circ.Mean,
 			CircuitP99:  circ.P99,
 			Setups:      circ.Setups,
-		})
+		}, nil
+	})
+	if err != nil {
+		return HostnetResult{}, err
 	}
+	res.Rows = rows
 	return res, nil
 }

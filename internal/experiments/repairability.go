@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"lightpath/internal/alloc"
+	"lightpath/internal/engine"
 	"lightpath/internal/failure"
 	"lightpath/internal/rng"
 	"lightpath/internal/torus"
@@ -38,60 +39,99 @@ func (r RepairabilityResult) String() string {
 	return b.String()
 }
 
+// repairTrial is one scenario's outcome, computed in parallel and
+// folded sequentially by the consumer below.
+type repairTrial struct {
+	// skip marks a scenario that does not count as a trial (nothing
+	// placed, no spares, single-chip victim, or a ring-less repair).
+	skip       bool
+	elecOK     bool
+	congestion int
+	congested  bool
+	optOK      bool
+}
+
 // Repairability runs the sweep: each trial packs a 4x4x4 rack with
 // random tenants (leaving spares), fails a random ring-carrying chip,
-// and attempts both repairs.
+// and attempts both repairs. The campaign keeps drawing scenarios
+// until `trials` are valid (capped at 4x the budget); the scenario
+// bodies run in parallel batches while the acceptance cutoff is
+// applied in strict index order, so the accepted set — and therefore
+// the result — is bit-identical to a sequential run.
 func Repairability(seed uint64, trials int) (RepairabilityResult, error) {
 	r := rng.New(seed)
 	res := RepairabilityResult{}
 	var congestionSum, congestionN int
-	for trial := 0; res.Trials < trials && trial < trials*4; trial++ {
+	err := engine.Stream(trials*4, func(trial int) (repairTrial, error) {
+		var out repairTrial
 		stream := r.Split(fmt.Sprintf("trial-%d", trial))
 		t := torus.New(torus.TPUv4RackShape)
 		placer := alloc.NewPlacer(t)
 		// Up to 3 tenants so spares remain for repair.
 		placed := alloc.RandomTenants(placer, stream, 3)
 		if len(placed) == 0 || placer.FreeCount() == 0 {
-			continue
+			out.skip = true
+			return out, nil
 		}
 		a, err := placer.Allocation()
 		if err != nil {
-			return res, err
+			return out, err
 		}
 		// Fail a random allocated chip belonging to a multi-chip slice.
 		victim := placed[stream.Intn(len(placed))]
 		if victim.Size() < 2 {
-			continue
+			out.skip = true
+			return out, nil
 		}
 		chips := victim.Chips(t)
 		failed := chips[stream.Intn(len(chips))]
 
 		elecFabric, err := failure.NewFabric(t, []*torus.Allocation{a}, 2)
 		if err != nil {
-			return res, err
+			return out, err
 		}
 		plan, err := elecFabric.ElectricalRepair(0, failed, 16)
 		switch {
 		case err == nil:
-			res.ElectricalOK++
+			out.elecOK = true
 		case errors.Is(err, failure.ErrNoCongestionFreeRepair):
 			if plan != nil {
-				congestionSum += plan.Congestion
-				congestionN++
+				out.congestion = plan.Congestion
+				out.congested = true
 			}
 		default:
 			// "carries no rings": nothing to repair; not a trial.
-			continue
+			out.skip = true
+			return out, nil
 		}
 
 		optFabric, err := failure.NewFabric(t, []*torus.Allocation{a}, 2)
 		if err != nil {
-			return res, err
+			return out, err
 		}
 		if _, err := optFabric.OpticalRepair(0, failed, 2, 0, stream.Uint64()); err == nil {
+			out.optOK = true
+		}
+		return out, nil
+	}, func(_ int, tr repairTrial) (bool, error) {
+		if tr.skip {
+			return true, nil
+		}
+		if tr.elecOK {
+			res.ElectricalOK++
+		}
+		if tr.congested {
+			congestionSum += tr.congestion
+			congestionN++
+		}
+		if tr.optOK {
 			res.OpticalOK++
 		}
 		res.Trials++
+		return res.Trials < trials, nil
+	})
+	if err != nil {
+		return res, err
 	}
 	if res.Trials == 0 {
 		return res, fmt.Errorf("experiments: repairability produced no valid trials")

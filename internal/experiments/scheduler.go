@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"lightpath/internal/engine"
 	"lightpath/internal/phy"
 	"lightpath/internal/rng"
 	"lightpath/internal/sched"
@@ -71,48 +72,59 @@ func Scheduler(seed uint64, phases int) (SchedulerResult, error) {
 	}
 	res := SchedulerResult{Chips: len(chips), Phases: phases}
 	r := rng.New(seed)
-	for _, kind := range []sched.WorkloadKind{sched.WorkloadPeriodic, sched.WorkloadShifting, sched.WorkloadChurning} {
-		for _, bytes := range []unit.Bytes{4 * unit.KiB, 256 * unit.KiB, 16 * unit.MiB} {
-			stream := r.Split(fmt.Sprintf("%s-%v", kind, bytes))
-			demands := sched.Generate(kind, chips, phases, bytes, stream)
+	kinds := []sched.WorkloadKind{sched.WorkloadPeriodic, sched.WorkloadShifting, sched.WorkloadChurning}
+	sizes := []unit.Bytes{4 * unit.KiB, 256 * unit.KiB, 16 * unit.MiB}
+	// Each (workload, size) cell is an independent trial keyed by a
+	// label-derived stream. Every trial value-copies the chip list and
+	// generates its own demand sequence, so no input is aliased between
+	// concurrently running cells; the merge folds rows in cell order.
+	rows, err := engine.Map(len(kinds)*len(sizes), func(cell int) (SchedulerRow, error) {
+		kind := kinds[cell/len(sizes)]
+		bytes := sizes[cell%len(sizes)]
+		cellChips := append([]int(nil), chips...)
+		stream := r.Split(fmt.Sprintf("%s-%v", kind, bytes))
+		demands := sched.Generate(kind, cellChips, phases, bytes, stream)
 
-			eager, err := sched.Run(p, sched.EagerPolicy{}, demands)
-			if err != nil {
-				return res, err
-			}
-			static, err := sched.Run(p, sched.NewStaticPolicy(chips), demands)
-			if err != nil {
-				return res, err
-			}
-			hyst, err := sched.Run(p, sched.HysteresisPolicy{P: p, Threshold: 1.0}, demands)
-			if err != nil {
-				return res, err
-			}
-			caching, err := sched.Run(p, sched.NewCachingPolicy(p), demands)
-			if err != nil {
-				return res, err
-			}
-			hedge, err := sched.Run(p, sched.NewHedgePolicy(p), demands)
-			if err != nil {
-				return res, err
-			}
-			opt, err := sched.OfflineOptimal(p, demands, chips)
-			if err != nil {
-				return res, err
-			}
-			res.Rows = append(res.Rows, SchedulerRow{
-				Workload:            kind.String(),
-				Bytes:               bytes,
-				Eager:               eager.Total,
-				Static:              static.Total,
-				Hysteresis:          hyst.Total,
-				Caching:             caching.Total,
-				Hedge:               hedge.Total,
-				Optimal:             opt.Total,
-				HysteresisReconfigs: hyst.Reconfigs,
-				CachingReconfigs:    caching.Reconfigs,
-			})
+		eager, err := sched.Run(p, sched.EagerPolicy{}, demands)
+		if err != nil {
+			return SchedulerRow{}, err
 		}
+		static, err := sched.Run(p, sched.NewStaticPolicy(cellChips), demands)
+		if err != nil {
+			return SchedulerRow{}, err
+		}
+		hyst, err := sched.Run(p, sched.HysteresisPolicy{P: p, Threshold: 1.0}, demands)
+		if err != nil {
+			return SchedulerRow{}, err
+		}
+		caching, err := sched.Run(p, sched.NewCachingPolicy(p), demands)
+		if err != nil {
+			return SchedulerRow{}, err
+		}
+		hedge, err := sched.Run(p, sched.NewHedgePolicy(p), demands)
+		if err != nil {
+			return SchedulerRow{}, err
+		}
+		opt, err := sched.OfflineOptimal(p, demands, cellChips)
+		if err != nil {
+			return SchedulerRow{}, err
+		}
+		return SchedulerRow{
+			Workload:            kind.String(),
+			Bytes:               bytes,
+			Eager:               eager.Total,
+			Static:              static.Total,
+			Hysteresis:          hyst.Total,
+			Caching:             caching.Total,
+			Hedge:               hedge.Total,
+			Optimal:             opt.Total,
+			HysteresisReconfigs: hyst.Reconfigs,
+			CachingReconfigs:    caching.Reconfigs,
+		}, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"lightpath/internal/alloc"
+	"lightpath/internal/engine"
 	"lightpath/internal/phy"
 	"lightpath/internal/rng"
 	"lightpath/internal/torus"
@@ -34,22 +35,30 @@ func (r TenantSweepResult) String() string {
 	return b.String()
 }
 
+// tenantRackTrial is one rack packing's contribution to the sweep.
+type tenantRackTrial struct {
+	utils    []float64
+	stranded int
+}
+
 // TenantSweep packs racks random tenant mixes and aggregates the
-// utilization gap.
+// utilization gap. Rack packings are independent trials fanned across
+// the engine's worker pool; each draws from an index-derived stream
+// and the merge below folds them in rack order, so the result is
+// bit-identical to a sequential run.
 func TenantSweep(seed uint64, racks int) (TenantSweepResult, error) {
 	r := rng.New(seed)
-	var utils []float64
-	res := TenantSweepResult{Racks: racks}
-	for rack := 0; rack < racks; rack++ {
+	trialResults, err := engine.Map(racks, func(rack int) (tenantRackTrial, error) {
+		var tr tenantRackTrial
 		t := torus.New(torus.TPUv4RackShape)
 		placer := alloc.NewPlacer(t)
 		placed := alloc.RandomTenants(placer, r.Split(fmt.Sprintf("rack-%d", rack)), 12)
 		if len(placed) == 0 {
-			continue
+			return tr, nil
 		}
 		a, err := placer.Allocation()
 		if err != nil {
-			return TenantSweepResult{}, err
+			return tr, err
 		}
 		for si, s := range a.Slices() {
 			// Skip slices with no rings at all (nothing to utilize).
@@ -62,13 +71,23 @@ func TenantSweep(seed uint64, racks int) (TenantSweepResult, error) {
 			if active == 0 {
 				continue
 			}
-			res.Tenants++
 			u := a.Utilization(si)
-			utils = append(utils, u)
+			tr.utils = append(tr.utils, u)
 			if u == 0 {
-				res.FullyStranded++
+				tr.stranded++
 			}
 		}
+		return tr, nil
+	})
+	if err != nil {
+		return TenantSweepResult{}, err
+	}
+	var utils []float64
+	res := TenantSweepResult{Racks: racks}
+	for _, tr := range trialResults {
+		res.Tenants += len(tr.utils)
+		utils = append(utils, tr.utils...)
+		res.FullyStranded += tr.stranded
 	}
 	if len(utils) == 0 {
 		return res, fmt.Errorf("experiments: tenant sweep produced no tenants")

@@ -180,15 +180,18 @@ func RunEvents[R comparable](flows []Flow[R], caps map[R]unit.BitRate, events []
 	// share the full configured capacities.
 	now := 0.0
 	eventIdx := 0
+	runRemaining := make([]float64, len(flows))
+	var scratch rateScratch[R]
+	//lightpath:hotloop
 	for active > 0 {
 		// Rates over running flows only.
-		runRemaining := make([]float64, len(flows))
 		for i := range flows {
+			runRemaining[i] = 0
 			if phase[i] == phaseRunning {
 				runRemaining[i] = remaining[i]
 			}
 		}
-		rates := fairRates(flows, caps, runRemaining)
+		rates := fairRatesInto(&scratch, flows, caps, runRemaining)
 
 		// Advance to the next transition: a completion, an external
 		// event, a detection expiry, or a backoff expiry.

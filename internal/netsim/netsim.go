@@ -79,8 +79,10 @@ func Run[R comparable](flows []Flow[R], caps map[R]unit.BitRate) (Result, error)
 	}
 
 	now := 0.0
+	var scratch rateScratch[R]
+	//lightpath:hotloop
 	for active > 0 {
-		rates := fairRates(flows, caps, remaining)
+		rates := fairRatesInto(&scratch, flows, caps, remaining)
 		// Advance to the earliest completion.
 		dt := math.Inf(1)
 		for i := range flows {
@@ -117,18 +119,61 @@ func Run[R comparable](flows []Flow[R], caps map[R]unit.BitRate) (Result, error)
 	return res, nil
 }
 
+// rateScratch is the reusable working storage of the max-min fair
+// rate computation. The fluid simulators recompute rates once per
+// completion event, so allocating these five structures per call
+// dominated the simulator's allocation profile; a zero-value scratch
+// is ready to use and is reset (not reallocated) on every call.
+type rateScratch[R comparable] struct {
+	rates    []float64
+	frozen   []bool
+	residual map[R]float64
+	users    map[R]int
+	order    []R
+}
+
+// reset prepares the scratch for n flows, reusing capacity.
+func (s *rateScratch[R]) reset(n int, caps int) {
+	if cap(s.rates) < n {
+		s.rates = make([]float64, n)
+		s.frozen = make([]bool, n)
+	} else {
+		s.rates = s.rates[:n]
+		s.frozen = s.frozen[:n]
+		for i := range s.rates {
+			s.rates[i] = 0
+			s.frozen[i] = false
+		}
+	}
+	if s.residual == nil {
+		s.residual = make(map[R]float64, caps)
+		s.users = make(map[R]int, caps)
+	} else {
+		clear(s.residual)
+		clear(s.users)
+	}
+	s.order = s.order[:0]
+}
+
 // fairRates computes max-min fair rates (bytes/second) by progressive
 // filling: repeatedly find the most constrained resource, freeze its
 // flows at the fair share, and remove them.
 func fairRates[R comparable](flows []Flow[R], caps map[R]unit.BitRate, remaining []float64) []float64 {
-	rates := make([]float64, len(flows))
-	frozen := make([]bool, len(flows))
+	var s rateScratch[R]
+	return fairRatesInto(&s, flows, caps, remaining)
+}
+
+// fairRatesInto is fairRates with caller-owned scratch; the returned
+// slice aliases the scratch and is valid until the next call with the
+// same scratch.
+func fairRatesInto[R comparable](s *rateScratch[R], flows []Flow[R], caps map[R]unit.BitRate, remaining []float64) []float64 {
+	s.reset(len(flows), len(caps))
+	rates, frozen := s.rates, s.frozen
 	// Residual capacity in bytes/second. order fixes the bottleneck
 	// scan to first-use order so equal-share ties always resolve the
 	// same way regardless of map iteration order.
-	residual := make(map[R]float64, len(caps))
-	users := make(map[R]int, len(caps))
-	var order []R
+	residual, users, order := s.residual, s.users, s.order
+	defer func() { s.order = order }()
 	for i, f := range flows {
 		if remaining[i] <= 0 {
 			frozen[i] = true

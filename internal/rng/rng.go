@@ -58,6 +58,16 @@ func (r *Rand) Split(label string) *Rand {
 	return New(seed)
 }
 
+// Clone returns an independent copy of the stream at its current
+// position: the clone and the original produce the same future values
+// but advance separately. It exists so a pristine prototype (a fabric,
+// a loss model) can be duplicated per Monte-Carlo trial with exactly
+// the state a freshly seeded construction would have.
+func (r *Rand) Clone() *Rand {
+	c := *r
+	return &c
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.

@@ -44,20 +44,75 @@ type Allocator struct {
 	fibersUsed map[fiberRowKey]int
 	// failedRows marks trunk rows taken out by fiber failures.
 	failedRows map[fiberRowKey]bool
+
+	// rowOrder[srcRow] is the precomputed non-packing fiber-row
+	// preference order (source row first, then the rest ascending). It
+	// is immutable after construction and shared by clones.
+	rowOrder [][]int
+	// scratch holds the buffers Establish reuses across calls so the
+	// pathfinding hot path stops allocating per circuit. Nothing in it
+	// survives a call; clones start with fresh (zero) scratch.
+	scratch allocScratch
 }
+
+// allocScratch is the per-allocator reusable working storage of the
+// Establish hot path. Every field is reset (length zero, capacity
+// kept) at the start of the call that uses it.
+type allocScratch struct {
+	plans   []plan
+	rowUses []rowUse
+	rows    []int
+	elems   []phy.LossElement
+	uses    []switchUse
+}
+
+// nextPlan appends an empty plan slot to the scratch, recycling the
+// slot's steps/trunks capacity from earlier calls.
+func (s *allocScratch) nextPlan() *plan {
+	if len(s.plans) < cap(s.plans) {
+		s.plans = s.plans[:len(s.plans)+1]
+	} else {
+		s.plans = append(s.plans, plan{})
+	}
+	p := &s.plans[len(s.plans)-1]
+	p.steps = p.steps[:0]
+	p.trunks = p.trunks[:0]
+	p.fiberRow = 0
+	p.turns = 0
+	return p
+}
+
+// rowUse ranks a trunk row for the fiber-packing heuristic.
+type rowUse struct{ row, used, free int }
 
 type fiberRowKey struct{ trunk, row int }
 
 // NewAllocator builds a centralized allocator over the rack. The
 // stochastic stitch losses draw from r; a nil r uses mean losses.
 func NewAllocator(rack *wafer.Rack, r *rng.Rand) *Allocator {
-	return &Allocator{
+	a := &Allocator{
 		rack:       rack,
 		loss:       phy.NewLossModel(r),
 		Budget:     phy.DefaultBudget(),
 		circuits:   make(map[int]*Circuit),
 		fibersUsed: make(map[fiberRowKey]int),
 	}
+	// Precompute the shortest-path fiber-row preference order for every
+	// source row: it depends only on the wafer geometry, so computing it
+	// per Establish call was pure allocation churn.
+	rows := rack.Config().Rows
+	a.rowOrder = make([][]int, rows)
+	for srcRow := range a.rowOrder {
+		order := make([]int, 0, rows)
+		order = append(order, srcRow)
+		for row := 0; row < rows; row++ {
+			if row != srcRow {
+				order = append(order, row)
+			}
+		}
+		a.rowOrder[srcRow] = order
+	}
+	return a
 }
 
 // trackFiber updates the occupancy mirror by delta (+1 on allocate,
@@ -104,11 +159,10 @@ func span(a, b int) wafer.Interval {
 	return wafer.Interval{Lo: b, Hi: a}
 }
 
-// intraWaferSteps plans the path from (r1,c1) to (r2,c2) on one wafer.
-// hFirst selects the horizontal-then-vertical L; otherwise
-// vertical-then-horizontal.
-func intraWaferSteps(w, r1, c1, r2, c2 int, hFirst bool) []planStep {
-	var steps []planStep
+// intraWaferSteps appends the path from (r1,c1) to (r2,c2) on one
+// wafer to steps. hFirst selects the horizontal-then-vertical L;
+// otherwise vertical-then-horizontal.
+func intraWaferSteps(steps []planStep, w, r1, c1, r2, c2 int, hFirst bool) []planStep {
 	if hFirst {
 		if c1 != c2 {
 			steps = append(steps, planStep{wafer: w, o: wafer.Horizontal, lane: r1, span: span(c1, c2)})
@@ -129,7 +183,9 @@ func intraWaferSteps(w, r1, c1, r2, c2 int, hFirst bool) []planStep {
 
 // candidatePlans enumerates paths between two chips in preference
 // order: for each candidate fiber row (same-wafer circuits have none),
-// the horizontal-first and vertical-first L-shapes.
+// the horizontal-first and vertical-first L-shapes. The returned slice
+// and everything it references live in the allocator's scratch and are
+// valid only until the next candidatePlans call.
 func (a *Allocator) candidatePlans(chipA, chipB int) []plan {
 	cfg := a.rack.Config()
 	wA, rA, cA := a.rack.Place(chipA)
@@ -138,40 +194,44 @@ func (a *Allocator) candidatePlans(chipA, chipB int) []plan {
 		wA, rA, cA, wB, rB, cB = wB, rB, cB, wA, rA, cA
 	}
 
-	var plans []plan
+	s := &a.scratch
+	s.plans = s.plans[:0]
 	if wA == wB {
 		for _, hFirst := range [2]bool{true, false} {
-			p := plan{steps: intraWaferSteps(wA, rA, cA, rB, cB, hFirst), fiberRow: -1}
+			p := s.nextPlan()
+			p.steps = intraWaferSteps(p.steps, wA, rA, cA, rB, cB, hFirst)
+			p.fiberRow = -1
 			p.turns = maxInt(0, len(p.steps)-1)
-			plans = append(plans, p)
 		}
 		// Z-shaped detours: when both L variants are blocked by bus
 		// exhaustion, route via an intermediate column (H-V-H) or row
 		// (V-H-V). The photonic mesh's path diversity is the point of
 		// Figure 4's 10,000 waveguides.
+		//lightpath:hotloop
 		for cm := 0; cm < cfg.Cols; cm++ {
 			if cm == cA || cm == cB || rA == rB {
 				continue
 			}
-			p := plan{fiberRow: -1}
+			p := s.nextPlan()
+			p.fiberRow = -1
 			p.steps = append(p.steps, planStep{wafer: wA, o: wafer.Horizontal, lane: rA, span: span(cA, cm)})
 			p.steps = append(p.steps, planStep{wafer: wA, o: wafer.Vertical, lane: cm, span: span(rA, rB)})
 			p.steps = append(p.steps, planStep{wafer: wA, o: wafer.Horizontal, lane: rB, span: span(cm, cB)})
 			p.turns = 2
-			plans = append(plans, p)
 		}
+		//lightpath:hotloop
 		for rm := 0; rm < cfg.Rows; rm++ {
 			if rm == rA || rm == rB || cA == cB {
 				continue
 			}
-			p := plan{fiberRow: -1}
+			p := s.nextPlan()
+			p.fiberRow = -1
 			p.steps = append(p.steps, planStep{wafer: wA, o: wafer.Vertical, lane: cA, span: span(rA, rm)})
 			p.steps = append(p.steps, planStep{wafer: wA, o: wafer.Horizontal, lane: rm, span: span(cA, cB)})
 			p.steps = append(p.steps, planStep{wafer: wA, o: wafer.Vertical, lane: cB, span: span(rm, rB)})
 			p.turns = 2
-			plans = append(plans, p)
 		}
-		return plans
+		return s.plans
 	}
 
 	// Enumerate cascade directions: clockwise always; the ring
@@ -212,62 +272,62 @@ func (a *Allocator) candidatePlans(chipA, chipB int) []plan {
 				continue
 			}
 			for _, hFirst := range [2]bool{true, false} {
-				var p plan
+				p := s.nextPlan()
 				p.fiberRow = row
 				// Source wafer: to the exit edge at the fiber row.
-				p.steps = append(p.steps, intraWaferSteps(wA, rA, cA, row, dir.exitCol, hFirst)...)
+				p.steps = intraWaferSteps(p.steps, wA, rA, cA, row, dir.exitCol, hFirst)
 				// Intermediate wafers: straight across the fiber row.
 				for _, w := range dir.inters {
 					p.steps = append(p.steps, planStep{wafer: w, o: wafer.Horizontal, lane: row, span: wafer.Interval{Lo: 0, Hi: cfg.Cols - 1}})
 				}
 				// Destination wafer: from the entry edge.
-				p.steps = append(p.steps, intraWaferSteps(wB, row, dir.enterCol, rB, cB, hFirst)...)
+				p.steps = intraWaferSteps(p.steps, wB, row, dir.enterCol, rB, cB, hFirst)
 				p.trunks = append(p.trunks, dir.trunks...)
 				p.turns = maxInt(0, len(p.steps)-1)
-				plans = append(plans, p)
 			}
 		}
 	}
-	return plans
+	return s.plans
 }
 
-// fiberRowOrder returns candidate trunk rows in preference order.
+// fiberRowOrder returns candidate trunk rows in preference order. In
+// the shortest-path regime the order is a precomputed table lookup; in
+// the packing regime it is recomputed into scratch (occupancy changes
+// between calls). Either way the result is read-only for the caller
+// and valid until the next call.
 func (a *Allocator) fiberRowOrder(srcRow, wA, wB int) []int {
+	if !a.PackFibers {
+		// Shortest-path preference: the source row first, then the
+		// rest — geometry only, precomputed in NewAllocator.
+		return a.rowOrder[srcRow]
+	}
 	cfg := a.rack.Config()
-	rows := make([]int, 0, cfg.Rows)
-	if a.PackFibers {
-		// Most-used non-full rows first (pack), then the rest.
-		type rowUse struct{ row, used, free int }
-		var uses []rowUse
-		for row := 0; row < cfg.Rows; row++ {
-			used, free := a.fiberRowOccupancy(row, wA, wB)
-			uses = append(uses, rowUse{row: row, used: used, free: free})
-		}
-		for {
-			best := -1
-			for i, u := range uses {
-				if u.row < 0 || u.free == 0 {
-					continue
-				}
-				if best < 0 || u.used > uses[best].used {
-					best = i
-				}
-			}
-			if best < 0 {
-				break
-			}
-			rows = append(rows, uses[best].row)
-			uses[best].row = -1
-		}
-		return rows
-	}
-	// Shortest-path preference: the source row first, then the rest.
-	rows = append(rows, srcRow)
+	// Most-used non-full rows first (pack), then the rest.
+	uses := a.scratch.rowUses[:0]
+	//lightpath:hotloop
 	for row := 0; row < cfg.Rows; row++ {
-		if row != srcRow {
-			rows = append(rows, row)
-		}
+		used, free := a.fiberRowOccupancy(row, wA, wB)
+		uses = append(uses, rowUse{row: row, used: used, free: free})
 	}
+	rows := a.scratch.rows[:0]
+	for {
+		best := -1
+		for i, u := range uses {
+			if u.row < 0 || u.free == 0 {
+				continue
+			}
+			if best < 0 || u.used > uses[best].used {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		rows = append(rows, uses[best].row)
+		uses[best].row = -1
+	}
+	a.scratch.rowUses = uses
+	a.scratch.rows = rows
 	return rows
 }
 
@@ -438,12 +498,16 @@ func (a *Allocator) Release(c *Circuit) {
 // loss element per fiber hop.
 func (a *Allocator) evaluate(p plan, segs []Segment, fibers []wafer.FiberRef) phy.LinkReport {
 	cfg := a.rack.Config()
-	var elems []phy.LossElement
+	// The element list is rebuilt for every candidate plan commit tries;
+	// reuse the scratch buffer (Budget.Evaluate does not retain it).
+	elems := a.scratch.elems[:0]
+	defer func() { a.scratch.elems = elems }()
 	elems = append(elems, a.loss.Coupling(), a.loss.Coupling())
 	switches := 2 + p.turns
 	for i := 0; i < switches; i++ {
 		elems = append(elems, a.loss.MZIPass(), a.loss.MZIPass())
 	}
+	//lightpath:hotloop
 	for _, s := range segs {
 		length := s.Ref.Span.Hi - s.Ref.Span.Lo
 		for b := 0; b < length; b++ {
@@ -483,11 +547,16 @@ type switchUse struct {
 // turn tile, where one step ends and the next begins. commit checks
 // these for stuck-state health before allocating, and programSwitches
 // drives them after.
+// The returned slice lives in the allocator's scratch and is valid
+// only until the next planSwitches call.
 func (a *Allocator) planSwitches(req Request, p plan) []switchUse {
-	uses := []switchUse{
-		{tile: a.rack.TileOf(req.A), sw: 0},
-		{tile: a.rack.TileOf(req.B), sw: 0},
-	}
+	uses := a.scratch.uses[:0]
+	defer func() { a.scratch.uses = uses }()
+	uses = append(uses,
+		switchUse{tile: a.rack.TileOf(req.A), sw: 0},
+		switchUse{tile: a.rack.TileOf(req.B), sw: 0},
+	)
+	//lightpath:hotloop
 	for i := range p.steps {
 		if i == 0 {
 			continue

@@ -1,0 +1,58 @@
+package route
+
+import (
+	"lightpath/internal/phy"
+	"lightpath/internal/unit"
+	"lightpath/internal/wafer"
+)
+
+// Clone returns a deep copy of the allocator together with a deep copy
+// of the rack it manages (reachable via the clone's Rack method). The
+// clone behaves exactly like the original would from this point on —
+// same occupancy mirrors, same circuit table, same position in the
+// stochastic loss stream — while sharing no mutable storage, so a
+// Monte-Carlo campaign can build one pristine allocator and hand each
+// trial its own copy.
+func (a *Allocator) Clone() *Allocator {
+	c := &Allocator{
+		rack:        a.rack.Clone(),
+		loss:        a.loss.Clone(),
+		Budget:      a.Budget,
+		CheckBudget: a.CheckBudget,
+		PackFibers:  a.PackFibers,
+		circuits:    make(map[int]*Circuit, len(a.circuits)),
+		nextID:      a.nextID,
+		fibersUsed:  make(map[fiberRowKey]int, len(a.fibersUsed)),
+		// The row-order table is immutable after construction, so
+		// clones share it; scratch is deliberately left fresh.
+		rowOrder: a.rowOrder,
+	}
+	for id, circ := range a.circuits {
+		c.circuits[id] = circ.Clone()
+	}
+	for k, v := range a.fibersUsed {
+		c.fibersUsed[k] = v
+	}
+	if a.failedRows != nil {
+		c.failedRows = make(map[fiberRowKey]bool, len(a.failedRows))
+		for k, v := range a.failedRows {
+			c.failedRows[k] = v
+		}
+	}
+	return c
+}
+
+// Clone returns a deep copy of the circuit, duplicating the segment
+// and fiber slices so the copy shares no storage with the original.
+func (c *Circuit) Clone() *Circuit {
+	n := *c
+	n.Segments = append([]Segment(nil), c.Segments...)
+	n.Fibers = append([]wafer.FiberRef(nil), c.Fibers...)
+	if c.Link.ByKind != nil {
+		n.Link.ByKind = make(map[phy.LossKind]unit.Decibel, len(c.Link.ByKind))
+		for k, v := range c.Link.ByKind {
+			n.Link.ByKind[k] = v
+		}
+	}
+	return &n
+}

@@ -37,6 +37,11 @@ func (k WorkloadKind) String() string {
 	}
 }
 
+// clone returns a Demand sharing no storage with the receiver.
+func (d Demand) clone() Demand {
+	return Demand{Pairs: append([]Pair(nil), d.Pairs...)}
+}
+
 // matching draws a random perfect matching over the chips.
 func matching(chips []int, bytes unit.Bytes, r *rng.Rand) Demand {
 	perm := r.Perm(len(chips))
@@ -62,7 +67,11 @@ func Generate(kind WorkloadKind, chips []int, phases int, bytes unit.Bytes, r *r
 			matching(chips, bytes, r),
 		}
 		for i := 0; i < phases; i++ {
-			out = append(out, base[i%len(base)])
+			// Value-copy each phase: repeating the base demands by
+			// reference would alias one Pairs slice across phases, and
+			// a consumer mutating one phase would silently corrupt the
+			// others (fatal once phases are examined concurrently).
+			out = append(out, base[i%len(base)].clone())
 		}
 	case WorkloadShifting:
 		cur := matching(chips, bytes, r)

@@ -1,0 +1,128 @@
+package wafer
+
+import "testing"
+
+// buildMutatedRack constructs a rack and applies one of every kind of
+// mutation the model supports, so clone tests cover all state.
+func buildMutatedRack(t *testing.T) *Rack {
+	t.Helper()
+	r, err := NewRackTopology(DefaultConfig(), 2, RingTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := r.Wafer(0)
+	if _, err := w.AllocBus(Horizontal, 1, Interval{Lo: 2, Hi: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AllocBus(Vertical, 3, Interval{Lo: 0, Hi: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DegradeSegment(Horizontal, 1, 4, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	tile := w.Tile(1, 2)
+	if err := tile.Reserve(4); err != nil {
+		t.Fatal(err)
+	}
+	tile.FailLasers(2)
+	tile.FailChip()
+	if err := tile.FailSwitch(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Tile(0, 0).Switches[0].Program(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AllocFiber(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRackCloneMatches: a clone reports exactly the state of the
+// original at clone time.
+func TestRackCloneMatches(t *testing.T) {
+	r := buildMutatedRack(t)
+	c := r.Clone()
+
+	if got, want := c.Health(), r.Health(); got != want {
+		t.Fatalf("clone health %v, want %v", got, want)
+	}
+	if got, want := c.FibersInUse(), r.FibersInUse(); got != want {
+		t.Fatalf("clone fibers in use %d, want %d", got, want)
+	}
+	ch, cv := c.Wafer(0).BusesInUse()
+	oh, ov := r.Wafer(0).BusesInUse()
+	if ch != oh || cv != ov {
+		t.Fatalf("clone buses in use (%d,%d), want (%d,%d)", ch, cv, oh, ov)
+	}
+	ct, ot := c.Wafer(0).Tile(1, 2), r.Wafer(0).Tile(1, 2)
+	if ct.FreeLasers() != ot.FreeLasers() || ct.FreePorts() != ot.FreePorts() {
+		t.Fatalf("clone tile resources (%d,%d), want (%d,%d)",
+			ct.FreeLasers(), ct.FreePorts(), ot.FreeLasers(), ot.FreePorts())
+	}
+	if got, want := c.Wafer(0).Tile(0, 0).Switches[0].Port(), 2; got != want {
+		t.Fatalf("clone switch port %d, want %d", got, want)
+	}
+	if got := c.Wafer(0).SpanExtraLossDB(Horizontal, 1, Interval{Lo: 4, Hi: 4}); got != 2.5 {
+		t.Fatalf("clone degradation %g dB, want 2.5", got)
+	}
+	if c.Config() != r.Config() || c.Topology() != r.Topology() {
+		t.Fatalf("clone config/topology mismatch")
+	}
+}
+
+// TestRackCloneIsolated: mutating the clone must not leak into the
+// original, and vice versa — the property the parallel trial runner
+// depends on.
+func TestRackCloneIsolated(t *testing.T) {
+	r := buildMutatedRack(t)
+	before := r.Health()
+	beforeFibers := r.FibersInUse()
+	bh, bv := r.Wafer(0).BusesInUse()
+
+	c := r.Clone()
+	// Hammer the clone with every mutation kind.
+	if _, err := c.Wafer(1).AllocBus(Horizontal, 0, Interval{Lo: 0, Hi: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AllocFiber(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	c.Wafer(1).Tile(3, 3).FailChip()
+	c.Wafer(1).Tile(2, 2).FailLasers(5)
+	if err := c.Wafer(1).DegradeSegment(Vertical, 0, 1, 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wafer(0).Tile(0, 0).Switches[0].Program(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wafer(0).Tile(0, 1).Reserve(3); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := r.Health(); got != before {
+		t.Fatalf("original health changed: %v, want %v", got, before)
+	}
+	if got := r.FibersInUse(); got != beforeFibers {
+		t.Fatalf("original fibers changed: %d, want %d", got, beforeFibers)
+	}
+	if ah, av := r.Wafer(0).BusesInUse(); ah != bh || av != bv {
+		t.Fatalf("original buses changed: (%d,%d), want (%d,%d)", ah, av, bh, bv)
+	}
+	if got := r.Wafer(0).Tile(0, 0).Switches[0].Port(); got != 2 {
+		t.Fatalf("original switch reprogrammed through clone: port %d, want 2", got)
+	}
+	if got := r.Wafer(0).Tile(0, 1).FreePorts(); got != DefaultConfig().SerDesPortsPerTile {
+		t.Fatalf("original tile ports changed: %d free", got)
+	}
+	if r.Wafer(1).SpanSevered(Vertical, 0, Interval{Lo: 1, Hi: 1}) {
+		t.Fatal("original picked up the clone's severed segment")
+	}
+
+	// And the reverse direction: freeing on the original must not
+	// disturb the clone's occupancy.
+	r.FreeFiber(FiberRef{Trunk: 0, Row: 1, Fiber: 0})
+	if got := c.FibersInUse(); got != beforeFibers+1 {
+		t.Fatalf("clone fibers changed by original's free: %d", got)
+	}
+}
