@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet check chaos-smoke bench bench-smoke
+.PHONY: all build test race lint fmt vet check chaos-smoke soak-smoke bench bench-smoke
 
 all: check
 
@@ -18,7 +18,7 @@ test:
 
 ## race: run the test suite under the race detector.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 ## lint: formatting check, go vet, and the repo-specific analyzers.
 lint: fmt vet
@@ -46,6 +46,20 @@ chaos-smoke:
 	done; rm -rf $$tmp; \
 	if [ $$rc -ne 0 ]; then echo "chaos CSV diverged from golden (seed 2024)" >&2; exit 1; fi
 
+## soak-smoke: run the fleet availability soak with the pinned seed —
+## once parallel, once sequential, both under the race detector — and
+## diff the CSVs against the committed golden. Every trial runs with
+## the Paranoid invariant auditor; a nonzero violation count shows up
+## as a golden diff in the violations column, and lost determinism as
+## any other diff.
+soak-smoke:
+	@tmp=$$(mktemp -d); rc=0; \
+	for par in true false; do \
+		$(GO) run -race ./cmd/lightpath-sim soak -seed 2024 -trials 2 -parallel=$$par -csv $$tmp >/dev/null && \
+		diff -u cmd/lightpath-sim/testdata/soak_golden.csv $$tmp/soak.csv || rc=1; \
+	done; rm -rf $$tmp; \
+	if [ $$rc -ne 0 ]; then echo "soak CSV diverged from golden (seed 2024)" >&2; exit 1; fi
+
 ## bench: run every benchmark once with allocation stats and write the
 ## structured report to BENCH.json (ns/op, allocs/op, and each
 ## benchmark's deterministic paper metric). -benchtime=1x keeps the
@@ -61,4 +75,4 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./internal/... | $(GO) run ./cmd/lightpath-bench -baseline BENCH_baseline.json
 
 ## check: everything CI runs, in the same order.
-check: build lint race chaos-smoke bench-smoke
+check: build lint race chaos-smoke soak-smoke bench-smoke

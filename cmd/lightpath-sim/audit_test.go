@@ -1,0 +1,32 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"lightpath/internal/invariant"
+)
+
+// TestMain runs every subcommand test with the invariant auditor in
+// Paranoid mode: each fabric the campaigns build audits the full
+// registry after every circuit mutation. Under -race the full-scale
+// campaign replays drop to Sampled so the package fits the race
+// detector's time budget (internal/experiments audits the same
+// campaign code in Paranoid mode either way). The error-taxonomy
+// test provokes violations on purpose and resets the global tally,
+// so a nonzero count here means a campaign corrupted real state.
+func TestMain(m *testing.M) {
+	mode := invariant.Paranoid
+	if raceEnabled {
+		mode = invariant.Sampled
+	}
+	invariant.SetDefaultMode(mode)
+	code := m.Run()
+	if n := invariant.GlobalCount(); n > 0 && code == 0 {
+		fmt.Fprintf(os.Stderr, "invariant auditor recorded %d violation(s) during the test run; first: %s\n",
+			n, invariant.GlobalViolations()[0])
+		code = 1
+	}
+	os.Exit(code)
+}

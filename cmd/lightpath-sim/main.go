@@ -23,6 +23,7 @@
 //	repair    repairability sweep over random racks and failures
 //	blast     blast radius sweep, electrical vs optical policy (E10)
 //	chaos     fault-injected AllReduce: MTTR, goodput and blast radius under recovery
+//	soak      multi-day fleet soak: self-healing availability under Poisson faults
 //	sweep     AllReduce completion time vs buffer size (E11)
 //	alltoall  AllToAll: per-step circuit reprogramming vs DOR routing (§5)
 //	scheduler online reconfiguration policies vs offline optimal (§1/§5)
@@ -65,7 +66,7 @@ func run(args []string, out printer) error {
 	seed := fs.Uint64("seed", 2024, "deterministic seed for all stochastic components")
 	elements := fs.Int("n", experiments.DefaultTableBuffer, "collective buffer length in float32 elements")
 	samples := fs.Int("samples", 10000, "stitch-loss samples for fig3b")
-	trials := fs.Int("trials", 8, "fault-injection trials for chaos")
+	trials := fs.Int("trials", 8, "trials for the chaos and soak campaigns")
 	csvDir := fs.String("csv", "", "directory to also write each experiment's data series as <command>.csv")
 	parallel := fs.Bool("parallel", true, "fan Monte-Carlo campaigns across CPUs (output is identical either way)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -172,6 +173,13 @@ func run(args []string, out printer) error {
 			}
 			return emitCSV(*csvDir, "chaos", r)
 		},
+		"soak": func() error {
+			r, err := experiments.Soak(*seed, *trials)
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "soak", r)
+		},
 		"sweep": func() error {
 			r, err := experiments.Sweep(experiments.DefaultSweepBuffers(), *seed)
 			if err := emit(out, r, err); err != nil {
@@ -250,7 +258,7 @@ func run(args []string, out printer) error {
 	if cmd == "all" {
 		order := []string{"info", "fig3a", "fig3b", "fig4", "ber", "table1", "table2",
 			"show", "fig5", "scale", "tenants", "fig6a", "fig6b", "fig7", "repair",
-			"blast", "chaos", "sweep", "alltoall", "scheduler", "moe", "moesweep", "hostnet",
+			"blast", "chaos", "soak", "sweep", "alltoall", "scheduler", "moe", "moesweep", "hostnet",
 			"protocols", "ablate"}
 		for _, name := range order {
 			if err := commands[name](); err != nil {

@@ -22,6 +22,7 @@ func TestRunEachCommand(t *testing.T) {
 		"fig7":      "disjoint",
 		"blast":     "16x",
 		"moe":       "Mixture-of-Experts",
+		"soak":      "Fleet soak",
 		"hostnet":   "crossover",
 		"tenants":   "rescued by optics",
 		"ber":       "waterfall",

@@ -38,6 +38,8 @@ var LayerRanks = map[string]int{
 	"route":       40,
 	"viz":         40,
 	"failure":     50,
+	"invariant":   50,
+	"fleet":       55,
 	"core":        60,
 	"experiments": 70,
 }

@@ -1,5 +1,7 @@
 package core
 
+import "lightpath/internal/invariant"
+
 // Clone returns a deep copy of the fabric: the rack hardware and the
 // circuit allocator are duplicated (sharing no mutable state with the
 // original), the logical torus — which is immutable — is shared, and
@@ -9,6 +11,12 @@ package core
 // clone it per trial instead of re-running the constructor.
 func (f *Fabric) Clone() *Fabric {
 	alloc := f.alloc.Clone()
+	// The allocator clone carries no audit hook (auditors are
+	// per-allocator, never shared across trials), so give the clone its
+	// own when auditing is on — exactly as New would.
+	if m := invariant.DefaultMode(); m != invariant.Off {
+		invariant.Attach(alloc, m)
+	}
 	return &Fabric{
 		torus:  f.torus,
 		rack:   alloc.Rack(),

@@ -15,6 +15,7 @@ import (
 
 	"lightpath/internal/collective"
 	"lightpath/internal/cost"
+	"lightpath/internal/invariant"
 	"lightpath/internal/netsim"
 	"lightpath/internal/rng"
 	"lightpath/internal/route"
@@ -70,10 +71,17 @@ func New(opts Options) (*Fabric, error) {
 		return nil, err
 	}
 	r := rng.New(opts.Seed)
+	alloc := route.NewAllocator(hw, r.Split("loss"))
+	// Tests raise the process default to Paranoid, so every fabric they
+	// build is continuously audited; production defaults to Off, which
+	// keeps the hot path a nil hook check.
+	if m := invariant.DefaultMode(); m != invariant.Off {
+		invariant.Attach(alloc, m)
+	}
 	return &Fabric{
 		torus:  t,
 		rack:   hw,
-		alloc:  route.NewAllocator(hw, r.Split("loss")),
+		alloc:  alloc,
 		params: opts.Cost,
 		rand:   r,
 	}, nil

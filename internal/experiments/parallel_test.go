@@ -81,6 +81,13 @@ var parallelCampaigns = []struct {
 		r, err := AblationAllocation(11, 8)
 		return r.String(), err
 	}},
+	{"soak", func() (string, error) {
+		r, err := Soak(2024, 2)
+		if err != nil {
+			return "", err
+		}
+		return r.String() + renderTabular(r), nil
+	}},
 }
 
 // TestParallelMatchesSequential is the golden cross-check: each

@@ -71,6 +71,36 @@ func TestRunEventsTransparentHiccup(t *testing.T) {
 	}
 }
 
+func TestRunEventsRestoreAtDetectionDeadlineIsTransparent(t *testing.T) {
+	// The link dies at 0.2s and is restored at exactly the detection
+	// deadline, 1.2s. Restores apply before phase transitions at the
+	// same instant, so the sender never declares the transfer dead:
+	// the flow resumes transparently — 1s of work plus a 1s stall, no
+	// retry, no retransmitted bytes.
+	flows := []Flow[string]{{Bytes: unit.GB, Via: []string{"l"}}}
+	caps := map[string]unit.BitRate{"l": unit.GBps(1)}
+	events := []Event[string]{
+		{At: 0.2, Fail: []string{"l"}},
+		{At: 1.2, Restore: []string{"l"}},
+	}
+	res, err := RunEvents(flows, caps, events, eventPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries[0] != 0 {
+		t.Fatalf("retries = %d, want a transparent resume", res.Retries[0])
+	}
+	if res.WastedBytes != 0 {
+		t.Fatalf("wasted %v bytes on a transparent resume", res.WastedBytes)
+	}
+	if !approx(res.FlowEnd[0], 2.0, 1e-6) {
+		t.Fatalf("finished at %v, want 2.0s (1s work + 1s stall)", res.FlowEnd[0])
+	}
+	if !approx(res.Stalled[0], 1.0, 1e-6) {
+		t.Fatalf("stalled %v, want exactly the 1s outage", res.Stalled[0])
+	}
+}
+
 func TestRunEventsDetectionRetryAndWaste(t *testing.T) {
 	// Failure at 0.5s (half delivered), restored at 2s. Detection
 	// expires at 1.5s: 0.5 GB wasted, one retry. Backoff 0.5s ends at

@@ -49,6 +49,14 @@ type Allocator struct {
 	// preference order (source row first, then the rest ascending). It
 	// is immutable after construction and shared by clones.
 	rowOrder [][]int
+	// auditHook, when set, runs after every completed top-level
+	// mutation with the operation's name; mutDepth tracks nesting so
+	// compound operations (ApplyFault releasing circuits, Establish
+	// trying many commits) fire the hook once, when the state is
+	// consistent again. Clones start with no hook — the attaching
+	// layer decides per allocator.
+	auditHook func(op string)
+	mutDepth  int
 	// scratch holds the buffers Establish reuses across calls so the
 	// pathfinding hot path stops allocating per circuit. Nothing in it
 	// survives a call; clones start with fresh (zero) scratch.
@@ -113,6 +121,27 @@ func NewAllocator(rack *wafer.Rack, r *rng.Rand) *Allocator {
 		a.rowOrder[srcRow] = order
 	}
 	return a
+}
+
+// SetAuditHook registers fn to run after every completed top-level
+// mutation of the allocator's shared optical state (Establish,
+// Release, ApplyFault, FailFiberRow, RestoreFiberRow, and the
+// decentralized commit path), with the operation's name. Nested
+// mutations — a fault tearing down circuits mid-application — fire
+// the hook only once, at the outermost level, so the hook always
+// observes a consistent allocator. A nil fn detaches. The hook must
+// not mutate the allocator.
+func (a *Allocator) SetAuditHook(fn func(op string)) { a.auditHook = fn }
+
+// beginOp/endOp bracket a mutation of shared state; the audit hook
+// fires when the outermost bracket closes.
+func (a *Allocator) beginOp() { a.mutDepth++ }
+
+func (a *Allocator) endOp(op string) {
+	a.mutDepth--
+	if a.mutDepth == 0 && a.auditHook != nil {
+		a.auditHook(op)
+	}
 }
 
 // trackFiber updates the occupancy mirror by delta (+1 on allocate,
@@ -375,6 +404,8 @@ func (a *Allocator) Establish(req Request, now unit.Seconds) (*Circuit, error) {
 			return nil, fmt.Errorf("%w: chip %d", ErrEndpointFailed, chip)
 		}
 	}
+	a.beginOp()
+	defer a.endOp("establish")
 	plans := a.candidatePlans(req.A, req.B)
 	var lastErr error = ErrNoPath
 	for _, p := range plans {
@@ -384,12 +415,16 @@ func (a *Allocator) Establish(req Request, now unit.Seconds) (*Circuit, error) {
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("%w: chips %d<->%d: %v", ErrNoPath, req.A, req.B, lastErr)
+	// Both sentinels stay unwrappable: errors.Is sees ErrNoPath and
+	// whatever sentinel the last commit attempt surfaced.
+	return nil, fmt.Errorf("%w: chips %d<->%d: %w", ErrNoPath, req.A, req.B, lastErr)
 }
 
 // commit attempts to allocate everything a plan needs, rolling back on
 // failure.
 func (a *Allocator) commit(req Request, p plan, now unit.Seconds) (c *Circuit, err error) {
+	a.beginOp()
+	defer a.endOp("commit")
 	var segs []Segment
 	var fibers []wafer.FiberRef
 	reservedA, reservedB := false, false
@@ -473,11 +508,19 @@ func (a *Allocator) commit(req Request, p plan, now unit.Seconds) (c *Circuit, e
 	return c, nil
 }
 
-// Release tears down a circuit and returns its resources.
+// Release tears down a circuit and returns its resources. Releasing a
+// circuit this allocator does not currently hold — a double release,
+// or a circuit belonging to a different allocator (a clone's, say) —
+// is a no-op: fault-driven teardown can race a caller-driven one, and
+// the loser must never corrupt the occupancy counts. The identity
+// check is by pointer, not ID, so a clone's circuit with a coinciding
+// ID cannot free this allocator's resources.
 func (a *Allocator) Release(c *Circuit) {
-	if _, ok := a.circuits[c.ID]; !ok {
-		panic(fmt.Sprintf("route: release of unknown circuit %d", c.ID))
+	if cur, ok := a.circuits[c.ID]; !ok || cur != c {
+		return
 	}
+	a.beginOp()
+	defer a.endOp("release")
 	delete(a.circuits, c.ID)
 	for _, s := range c.Segments {
 		a.rack.Wafer(s.Wafer).FreeBus(s.Ref)
@@ -595,17 +638,67 @@ func (a *Allocator) programSwitches(req Request, p plan, now unit.Seconds) {
 // steps; when the steps are on different wafers (a fiber hop) the
 // junction is the new span's entry edge.
 func clampToSpan(prev, cur planStep) int {
-	if prev.wafer != cur.wafer {
-		return cur.span.Lo
+	return junction(prev.wafer, prev.lane, cur.wafer, cur.span)
+}
+
+// junction is the step-junction rule on primitive fields, shared by
+// the plan-time switch listing and the segment-time reconstruction in
+// CircuitSwitches: the previous step's lane is a position along the
+// current span, clamped to it; a wafer change enters at the span's low
+// edge.
+func junction(prevWafer, prevLane, curWafer int, curSpan wafer.Interval) int {
+	if prevWafer != curWafer {
+		return curSpan.Lo
 	}
-	// The previous step's lane is a position along the current span.
-	if prev.lane < cur.span.Lo {
-		return cur.span.Lo
+	if prevLane < curSpan.Lo {
+		return curSpan.Lo
 	}
-	if prev.lane > cur.span.Hi {
-		return cur.span.Hi
+	if prevLane > curSpan.Hi {
+		return curSpan.Hi
 	}
-	return prev.lane
+	return prevLane
+}
+
+// SwitchExpectation pairs a tile with the switch index a circuit's
+// path programs there and the port it must be routed to.
+type SwitchExpectation struct {
+	Tile   *wafer.Tile
+	Switch int
+	Port   int
+}
+
+// CircuitSwitches reconstructs, from a circuit's committed segments,
+// the switch programming its path required: switch 0 routed to port 0
+// at each endpoint tile (facing the Tx/Rx block) and switch 1 routed
+// to port 1 at each turn tile. Segments mirror the committed plan's
+// steps one-to-one in path order, so the reconstruction is exact; the
+// invariant auditor compares it against the hardware's actual switch
+// state.
+func (a *Allocator) CircuitSwitches(c *Circuit) []SwitchExpectation {
+	out := []SwitchExpectation{
+		{Tile: a.rack.TileOf(c.A), Switch: 0, Port: 0},
+		{Tile: a.rack.TileOf(c.B), Switch: 0, Port: 0},
+	}
+	for i := 1; i < len(c.Segments); i++ {
+		prev, cur := c.Segments[i-1], c.Segments[i]
+		var row, col int
+		if cur.Ref.Orient == wafer.Horizontal {
+			row = cur.Ref.Lane
+			col = junction(prev.Wafer, prev.Ref.Lane, cur.Wafer, cur.Ref.Span)
+		} else {
+			col = cur.Ref.Lane
+			row = junction(prev.Wafer, prev.Ref.Lane, cur.Wafer, cur.Ref.Span)
+		}
+		out = append(out, SwitchExpectation{Tile: a.rack.Wafer(cur.Wafer).Tile(row, col), Switch: 1, Port: 1})
+	}
+	return out
+}
+
+// FiberRowUsage returns the allocator's occupancy-mirror count for one
+// trunk row — how many fibers it believes are in use there. The
+// invariant auditor cross-checks this against the rack's ground truth.
+func (a *Allocator) FiberRowUsage(trunk, row int) int {
+	return a.fibersUsed[fiberRowKey{trunk: trunk, row: row}]
 }
 
 func (a *Allocator) reserveEndpoint(chip, width int) error {

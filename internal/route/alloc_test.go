@@ -149,15 +149,46 @@ func TestReleaseRestoresResources(t *testing.T) {
 	}
 }
 
-func TestReleasePanicsOnUnknown(t *testing.T) {
+func TestReleaseUnknownAndDoubleReleaseAreNoOps(t *testing.T) {
 	rack := twoWaferRack(t)
-	a := NewAllocator(rack, nil)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("release of unknown circuit did not panic")
-		}
-	}()
+	a := NewAllocator(rack, rng.New(3))
+	c, err := a.Establish(Request{A: 0, B: 40, Width: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, err := a.Establish(Request{A: 1, B: 41, Width: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := func() [4]int {
+		h0, v0 := rack.Wafer(0).BusesInUse()
+		h1, v1 := rack.Wafer(1).BusesInUse()
+		return [4]int{rack.FibersInUse(), rack.TileOf(keep.A).FreeLasers(), h0 + v0, h1 + v1}
+	}
+	a.Release(c)
+	want := snapshot()
+
+	// Double release of the same pointer: a no-op, not corruption. The
+	// pre-idempotence allocator would have freed keep-owned resources or
+	// panicked here — exactly the class of defect the auditor flags as a
+	// conservation violation.
+	a.Release(c)
+	// A circuit this allocator never established (a clone's twin with a
+	// coinciding ID, or a fabricated one) must not free anything either.
+	a.Release(&Circuit{ID: keep.ID, A: keep.A, B: keep.B, Width: keep.Width})
 	a.Release(&Circuit{ID: 99})
+
+	if got := snapshot(); got != want {
+		t.Fatalf("occupancy drifted after redundant releases: %v != %v", got, want)
+	}
+	if len(a.Circuits()) != 1 || a.Circuits()[0] != keep {
+		t.Fatal("surviving circuit lost")
+	}
+	// The surviving circuit still tears down cleanly.
+	a.Release(keep)
+	if rack.FibersInUse() != 0 || len(a.Circuits()) != 0 {
+		t.Fatal("final release incomplete")
+	}
 }
 
 func TestLaserExhaustionFailsCleanly(t *testing.T) {

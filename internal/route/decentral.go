@@ -125,6 +125,8 @@ func (d *Decentralized) EstablishBatch(reqs []Request, now unit.Seconds) BatchOu
 // (§5, "dynamically reconfiguring the network in real-time, ensuring
 // continued operation despite faults").
 func (a *Allocator) FailFiberRow(trunk, row int) []*Circuit {
+	a.beginOp()
+	defer a.endOp("fail-fiber-row")
 	key := fiberRowKey{trunk: trunk, row: row}
 	if a.failedRows == nil {
 		a.failedRows = make(map[fiberRowKey]bool)
@@ -144,6 +146,16 @@ func (a *Allocator) FailFiberRow(trunk, row int) []*Circuit {
 		a.Release(c)
 	}
 	return affected
+}
+
+// RestoreFiberRow returns a previously cut trunk row to service:
+// subsequent establishes may allocate its fibers again. Restoring a
+// row that is not failed is a no-op. Torn-down circuits are not
+// re-established here — that is the recovery loop's decision.
+func (a *Allocator) RestoreFiberRow(trunk, row int) {
+	a.beginOp()
+	defer a.endOp("restore-fiber-row")
+	delete(a.failedRows, fiberRowKey{trunk: trunk, row: row})
 }
 
 // RowFailed reports whether a trunk row has been marked failed.

@@ -1,10 +1,16 @@
-package route
+// The fuzz target lives in an external test package so it can attach
+// the invariant auditor (package invariant imports route; an
+// in-package test would be an import cycle). It exercises only the
+// allocator's public API.
+package route_test
 
 import (
 	"testing"
 
 	"lightpath/internal/chaos"
+	"lightpath/internal/invariant"
 	"lightpath/internal/rng"
+	"lightpath/internal/route"
 	"lightpath/internal/unit"
 	"lightpath/internal/wafer"
 )
@@ -12,9 +18,15 @@ import (
 // checkRecoveryInvariants asserts what must hold after any fault and
 // any recovery: established circuits are pairwise disjoint, cross no
 // severed segment, use no failed fiber row, and terminate only at
-// healthy chips.
-func checkRecoveryInvariants(t *testing.T, a *Allocator) {
+// healthy chips. The attached Paranoid auditor re-derives the same
+// properties (and more) from the hardware occupancy after every
+// mutation; aud carries its verdict.
+func checkRecoveryInvariants(t *testing.T, a *route.Allocator, aud *invariant.Auditor) {
 	t.Helper()
+	if err := aud.Err(); err != nil {
+		vs := aud.Violations()
+		t.Fatalf("auditor found %d violation(s) after %d audits; first: %s", aud.Count(), aud.Audits(), vs[0])
+	}
 	circuits := a.Circuits()
 	for i, c := range circuits {
 		for j := i + 1; j < len(circuits); j++ {
@@ -45,9 +57,12 @@ func checkRecoveryInvariants(t *testing.T, a *Allocator) {
 
 // FuzzFaultRecovery drives a random circuit population through a
 // random fault schedule, re-establishing broken circuits after every
-// fault, and asserts the recovery invariants throughout. The fuzz
-// inputs seed both the circuit mix and the fault engine, so every
-// failing input replays deterministically.
+// fault, and asserts the recovery invariants throughout — both the
+// spot checks below and the full invariant registry, which the
+// Paranoid auditor replays after every Establish/Release/ApplyFault.
+// The fuzz inputs seed both the circuit mix and the fault engine, so
+// every failing input replays deterministically; the committed corpus
+// under testdata/fuzz pins the seeds that run in normal test mode.
 func FuzzFaultRecovery(f *testing.F) {
 	f.Add(uint64(1), uint8(8))
 	f.Add(uint64(2024), uint8(20))
@@ -58,7 +73,8 @@ func FuzzFaultRecovery(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		a := NewAllocator(rack, nil)
+		a := route.NewAllocator(rack, nil)
+		aud := invariant.Attach(a, invariant.Paranoid)
 		r := rng.New(seed)
 
 		// A spread of circuits; establishment failures (exhausted
@@ -66,13 +82,13 @@ func FuzzFaultRecovery(f *testing.F) {
 		// about what survives, not what fits.
 		chips := rack.NumChips()
 		for i := 0; i < 12; i++ {
-			req := Request{A: r.Intn(chips), B: r.Intn(chips), Width: 1 + r.Intn(4)}
+			req := route.Request{A: r.Intn(chips), B: r.Intn(chips), Width: 1 + r.Intn(4)}
 			if req.A == req.B {
 				continue
 			}
 			_, _ = a.Establish(req, 0)
 		}
-		checkRecoveryInvariants(t, a)
+		checkRecoveryInvariants(t, a, aud)
 
 		cfg := rack.Config()
 		var rates chaos.Rates
@@ -99,13 +115,13 @@ func FuzzFaultRecovery(f *testing.F) {
 			if err != nil {
 				t.Fatalf("%v: %v", fault, err)
 			}
-			checkRecoveryInvariants(t, a)
+			checkRecoveryInvariants(t, a, aud)
 			// Recovery: re-path every broken circuit that still has
 			// live endpoints; failures (no path left, dead endpoint)
 			// are legitimate outcomes, but must not corrupt state.
 			for _, c := range broken {
 				_, _, _ = a.Reestablish(c, 0)
-				checkRecoveryInvariants(t, a)
+				checkRecoveryInvariants(t, a, aud)
 			}
 		}
 	})

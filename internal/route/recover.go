@@ -32,6 +32,8 @@ import (
 //     optical budget no longer closes (or whose span is severed).
 //   - FiberCut: every circuit using the cut trunk row.
 func (a *Allocator) ApplyFault(f chaos.Fault) ([]*Circuit, error) {
+	a.beginOp()
+	defer a.endOp("apply-fault")
 	switch f.Class {
 	case chaos.ChipFailure:
 		if err := a.checkChip(f.Chip); err != nil {
@@ -73,7 +75,7 @@ func (a *Allocator) ApplyFault(f chaos.Fault) ([]*Circuit, error) {
 		}
 		var broken []*Circuit
 		for _, c := range a.CircuitsOverSegment(f.Wafer, f.Horizontal, f.Lane, f.Pos) {
-			if !a.stillFeasible(c) {
+			if !a.StillFeasible(c) {
 				broken = append(broken, c)
 			}
 		}
@@ -122,12 +124,16 @@ func (a *Allocator) CircuitsOverSegment(waferIdx int, horizontal bool, lane, pos
 	return out
 }
 
-// stillFeasible re-checks a circuit's optical budget against the
-// current fault-induced degradation on its spans. The circuit's
-// stored link report already charged the defect loss present at
-// establish time (ByKind[LossDefect]); only degradation added since
-// eats into the remaining margin.
-func (a *Allocator) stillFeasible(c *Circuit) bool {
+// StillFeasible re-checks a circuit's optical budget against the
+// current fault-induced degradation on its spans: severed spans fail
+// outright, and accumulated extra loss must fit the remaining margin.
+// The circuit's stored link report already charged the defect loss
+// present at establish time (ByKind[LossDefect]); only degradation
+// added since eats into the remaining margin. ApplyFault uses it to
+// decide which circuits a waveguide fault invalidates, and the
+// invariant auditor uses it to assert every surviving circuit's
+// budget still closes.
+func (a *Allocator) StillFeasible(c *Circuit) bool {
 	extra := 0.0
 	for _, s := range c.Segments {
 		w := a.rack.Wafer(s.Wafer)

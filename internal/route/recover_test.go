@@ -225,6 +225,41 @@ func TestEstablishDegradedHalvesWidth(t *testing.T) {
 	}
 }
 
+func TestEstablishDegradedWidthOneFloor(t *testing.T) {
+	// A wafer with a single laser per tile forces the full degradation
+	// ladder: width 4 halves to 2, then to the floor of 1, which fits.
+	cfg := wafer.DefaultConfig()
+	cfg.LasersPerTile = 1
+	rack, err := wafer.NewRack(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAllocator(rack, nil)
+	c, degraded, err := a.EstablishDegraded(Request{A: 0, B: 5, Width: 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !degraded || c.Width != 1 {
+		t.Fatalf("width = %d degraded = %v, want the width-1 floor", c.Width, degraded)
+	}
+	// Below the floor there is nothing: with chip 0's only laser taken,
+	// even width 1 fails, and the failure reports no phantom degraded
+	// circuit.
+	c2, degraded, err := a.EstablishDegraded(Request{A: 0, B: 9, Width: 4}, 0)
+	if err == nil || c2 != nil || degraded {
+		t.Fatalf("exhausted endpoint produced (%v, %v, %v)", c2, degraded, err)
+	}
+	// A dead endpoint short-circuits the ladder entirely: narrowing
+	// cannot resurrect a chip, so the sentinel survives unhalved.
+	if _, err := a.ApplyFault(chaos.Fault{Class: chaos.ChipFailure, Chip: 9}); err != nil {
+		t.Fatal(err)
+	}
+	_, degraded, err = a.EstablishDegraded(Request{A: 9, B: 12, Width: 4}, 0)
+	if !errors.Is(err, ErrEndpointFailed) || degraded {
+		t.Fatalf("dead endpoint: err = %v degraded = %v, want ErrEndpointFailed", err, degraded)
+	}
+}
+
 func TestEstablishRejectsDegenerateRequests(t *testing.T) {
 	a := recoverAllocator(t)
 	if _, err := a.Establish(Request{A: 1, B: 1, Width: 1}, 0); err == nil {

@@ -105,6 +105,9 @@ const (
 	Microsecond Seconds = 1e-6
 	Millisecond Seconds = 1e-3
 	Second      Seconds = 1
+	Minute      Seconds = 60
+	Hour        Seconds = 3600
+	Day         Seconds = 86400
 )
 
 // Micros returns the duration in microseconds.

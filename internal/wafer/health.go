@@ -50,6 +50,33 @@ func (t *Tile) FailLasers(n int) {
 // FailedLasers returns how many lasers have burned out.
 func (t *Tile) FailedLasers() int { return t.lasersFailed }
 
+// RepairChip replaces the tile's failed accelerator chip with a
+// working one; the tile can terminate circuits again. Repairing a
+// healthy chip is a no-op.
+func (t *Tile) RepairChip() { t.chipFailed = false }
+
+// RepairLasers restores n burned-out lasers (a Tx/Rx block swap).
+// Restoring more lasers than have failed saturates at zero failed.
+func (t *Tile) RepairLasers(n int) {
+	if n <= 0 {
+		return
+	}
+	t.lasersFailed -= n
+	if t.lasersFailed < 0 {
+		t.lasersFailed = 0
+	}
+}
+
+// RepairSwitch replaces stuck tile switch i; it keeps its programmed
+// port and accepts Program again.
+func (t *Tile) RepairSwitch(i int) error {
+	if i < 0 || i >= SwitchesPerTile {
+		return fmt.Errorf("wafer: switch %d out of range [0, %d)", i, SwitchesPerTile)
+	}
+	t.Switches[i].stuck = false
+	return nil
+}
+
 // FailSwitch freezes tile switch i in its current state: established
 // paths through it keep working, but Program returns an error until
 // the hardware is replaced.
@@ -92,6 +119,24 @@ func (w *Wafer) DegradeSegment(o Orient, lane, pos int, extraDB float64) error {
 		w.degraded = make(map[segKey]float64)
 	}
 	w.degraded[segKey{o: o, lane: lane, pos: pos}] += extraDB
+	return nil
+}
+
+// RepairSegment clears all fault-induced extra loss at one tile
+// position of a bus lane — the contaminated region is re-worked.
+// Repairing an undegraded position is a no-op.
+func (w *Wafer) RepairSegment(o Orient, lane, pos int) error {
+	if _, err := w.lane(o, lane); err != nil {
+		return err
+	}
+	limit := w.cfg.Cols
+	if o == Vertical {
+		limit = w.cfg.Rows
+	}
+	if pos < 0 || pos >= limit {
+		return fmt.Errorf("wafer: %s lane %d position %d out of range [0, %d)", o, lane, pos, limit)
+	}
+	delete(w.degraded, segKey{o: o, lane: lane, pos: pos})
 	return nil
 }
 

@@ -178,6 +178,16 @@ func (r *Rack) FreeFiber(ref FiberRef) {
 	t.used[ref.Row][ref.Fiber] = false
 }
 
+// FiberAllocated reports whether the referenced fiber is currently
+// occupied. An out-of-range reference is simply not allocated.
+func (r *Rack) FiberAllocated(ref FiberRef) bool {
+	t, err := r.trunk(ref.Trunk, ref.Row)
+	if err != nil || ref.Fiber < 0 || ref.Fiber >= len(t.used[ref.Row]) {
+		return false
+	}
+	return t.used[ref.Row][ref.Fiber]
+}
+
 // FibersInUse counts occupied fibers across all trunks.
 func (r *Rack) FibersInUse() int {
 	n := 0

@@ -102,6 +102,15 @@ func (t *Tile) FreeLasers() int { return t.lasers - t.lasersUsed - t.lasersFaile
 // FreePorts returns the number of unallocated SerDes ports.
 func (t *Tile) FreePorts() int { return t.serdesPorts - t.portsUsed }
 
+// UsedLasers returns the wavelengths currently reserved by circuit
+// endpoints at this tile — the ground truth the invariant auditor
+// balances against the sum of established circuit widths.
+func (t *Tile) UsedLasers() int { return t.lasersUsed }
+
+// UsedPorts returns the SerDes ports currently reserved by circuit
+// endpoints at this tile.
+func (t *Tile) UsedPorts() int { return t.portsUsed }
+
 // Reserve takes width wavelengths and one SerDes port for a circuit
 // endpoint.
 func (t *Tile) Reserve(width int) error {

@@ -194,6 +194,41 @@ func (w *Wafer) FreeBus(ref BusRef) {
 	l.free(ref.Bus, ref.Span)
 }
 
+// BusSpanAllocated reports whether the exact interval of ref is
+// currently allocated on its bus — the ground truth the invariant
+// auditor checks every established circuit segment against. An
+// out-of-range or never-touched reference is simply not allocated.
+func (w *Wafer) BusSpanAllocated(ref BusRef) bool {
+	l, err := w.lane(ref.Orient, ref.Lane)
+	if err != nil || ref.Bus < 0 || ref.Bus >= len(l.buses) {
+		return false
+	}
+	for _, iv := range l.buses[ref.Bus] {
+		if iv == ref.Span {
+			return true
+		}
+	}
+	return false
+}
+
+// AllocatedSpans counts the bus intervals currently allocated across
+// the wafer's lanes; conservation demands it equal the total segment
+// count of established circuits.
+func (w *Wafer) AllocatedSpans() int {
+	n := 0
+	for _, l := range w.hLanes {
+		for _, ivs := range l.buses {
+			n += len(ivs)
+		}
+	}
+	for _, l := range w.vLanes {
+		for _, ivs := range l.buses {
+			n += len(ivs)
+		}
+	}
+	return n
+}
+
 // BusesInUse reports the number of occupied buses per orientation,
 // for utilization reporting.
 func (w *Wafer) BusesInUse() (horizontal, vertical int) {
