@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet check chaos-smoke soak-smoke bench bench-smoke
+.PHONY: all build test race lint fmt vet check chaos-smoke soak-smoke bench bench-smoke bench-compare
 
 all: check
 
@@ -73,6 +73,16 @@ bench:
 ## BENCH_baseline.json bit for bit.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./internal/... | $(GO) run ./cmd/lightpath-bench -baseline BENCH_baseline.json
+
+## bench-compare: advisory timing gate — ns/op and allocs/op of a
+## fresh pass against the committed baseline, within NS_TOL/ALLOCS_TOL
+## multipliers. Timings are machine-dependent, so CI runs this as a
+## non-blocking report; allocation counts are deterministic, which is
+## what the tight default allocs tolerance is for.
+NS_TOL ?= 1.50
+ALLOCS_TOL ?= 1.10
+bench-compare:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./internal/... | $(GO) run ./cmd/lightpath-bench -compare BENCH_baseline.json -ns-tol $(NS_TOL) -allocs-tol $(ALLOCS_TOL)
 
 ## check: everything CI runs, in the same order.
 check: build lint race chaos-smoke soak-smoke bench-smoke

@@ -13,6 +13,12 @@
 // run. That is the `make bench-smoke` regression gate: a refactor
 // that changes what the simulation computes cannot slip through as
 // noise.
+//
+// With -compare, ns/op and allocs/op are additionally diffed within
+// the -ns-tol and -allocs-tol multipliers. Timings are advisory —
+// `make bench-compare` feeds a non-blocking CI step — but allocation
+// counts are deterministic, so the tight default allocs tolerance
+// catches allocation creep on the hot paths this repo optimizes.
 package main
 
 import (
@@ -35,8 +41,14 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("lightpath-bench", flag.ContinueOnError)
 	outPath := fs.String("o", "", "write the parsed report as JSON to this file (\"-\" for stdout)")
 	basePath := fs.String("baseline", "", "diff paper metrics against this committed report; divergence fails")
+	comparePath := fs.String("compare", "", "diff ns/op and allocs/op against this report within the tolerances; regression fails")
+	nsTol := fs.Float64("ns-tol", 1.50, "ns/op tolerance multiplier for -compare (1.50 = 50% slower allowed)")
+	allocsTol := fs.Float64("allocs-tol", 1.10, "allocs/op tolerance multiplier for -compare")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *nsTol < 1 || *allocsTol < 1 {
+		return fmt.Errorf("tolerances must be >= 1 (got -ns-tol %v, -allocs-tol %v)", *nsTol, *allocsTol)
 	}
 	rep, err := bench.Parse(in)
 	if err != nil {
@@ -80,6 +92,25 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			return fmt.Errorf("%d paper metric(s) diverged from %s", len(diffs), *basePath)
 		}
 		fmt.Fprintf(out, "paper metrics match %s (%d benchmarks checked)\n", *basePath, len(base.Benchmarks))
+	}
+	if *comparePath != "" {
+		f, err := os.Open(*comparePath)
+		if err != nil {
+			return err
+		}
+		base, err := bench.ReadJSON(f)
+		_ = f.Close()
+		if err != nil {
+			return err
+		}
+		if diffs := bench.CompareTimings(base, rep, *nsTol, *allocsTol); len(diffs) > 0 {
+			for _, d := range diffs {
+				fmt.Fprintln(out, "timing regression:", d)
+			}
+			return fmt.Errorf("%d timing regression(s) vs %s", len(diffs), *comparePath)
+		}
+		fmt.Fprintf(out, "timings within tolerance of %s (ns/op %.2fx, allocs/op %.2fx, %d benchmarks checked)\n",
+			*comparePath, *nsTol, *allocsTol, len(base.Benchmarks))
 	}
 	return nil
 }

@@ -54,6 +54,39 @@ func TestBaselineGate(t *testing.T) {
 	}
 }
 
+func TestCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "BENCH_baseline.json")
+	var out bytes.Buffer
+	if err := run([]string{"-o", base}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	// Within tolerance passes.
+	slower := strings.ReplaceAll(sample, "12345 ns/op", "13000 ns/op")
+	if err := run([]string{"-compare", base}, strings.NewReader(slower), &out); err != nil {
+		t.Fatalf("in-tolerance run failed the compare gate: %v\n%s", err, out.String())
+	}
+	// A large slowdown fails and names the benchmark.
+	out.Reset()
+	much := strings.ReplaceAll(sample, "12345 ns/op", "99999999 ns/op")
+	if err := run([]string{"-compare", base}, strings.NewReader(much), &out); err == nil {
+		t.Fatalf("gross slowdown passed the compare gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkEstablish") {
+		t.Fatalf("diff does not name the benchmark:\n%s", out.String())
+	}
+	// Allocation creep fails even within the ns tolerance.
+	out.Reset()
+	creep := strings.ReplaceAll(sample, "5544 allocs/op", "7000 allocs/op")
+	if err := run([]string{"-compare", base}, strings.NewReader(creep), &out); err == nil {
+		t.Fatalf("allocation creep passed the compare gate:\n%s", out.String())
+	}
+	// A loose -allocs-tol lets the same creep through.
+	if err := run([]string{"-compare", base, "-allocs-tol", "2.0"}, strings.NewReader(creep), &out); err != nil {
+		t.Fatalf("loosened allocs tolerance still failed: %v\n%s", err, out.String())
+	}
+}
+
 func TestErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(nil, strings.NewReader("no benchmarks here\n"), &out); err == nil {
@@ -61,6 +94,12 @@ func TestErrors(t *testing.T) {
 	}
 	if err := run([]string{"-baseline", "/nonexistent.json"}, strings.NewReader(sample), &out); err == nil {
 		t.Error("missing baseline accepted")
+	}
+	if err := run([]string{"-compare", "/nonexistent.json"}, strings.NewReader(sample), &out); err == nil {
+		t.Error("missing compare report accepted")
+	}
+	if err := run([]string{"-compare", "x.json", "-ns-tol", "0.5"}, strings.NewReader(sample), &out); err == nil {
+		t.Error("sub-1 tolerance accepted")
 	}
 	if err := run([]string{"-badflag"}, strings.NewReader(sample), &out); err == nil {
 		t.Error("bad flag accepted")

@@ -48,6 +48,40 @@ func hotNested(n int) int {
 	return sum
 }
 
+// hotGeneric exercises the generic-map rule: hashing a type-parameter
+// key inside a hot loop is the cost interning removes, so both the
+// read and the write are flagged; a concrete-key map is not.
+func hotGeneric[K comparable](keys []K, n int) int {
+	counts := map[K]int{}
+	interned := make(map[K]int, n)
+	concrete := make(map[int]int, n)
+	total := 0
+	//lightpath:hotloop
+	for i, k := range keys {
+		counts[k]++          // want `generic-map indexing inside a hot loop`
+		total += interned[k] // want `generic-map indexing inside a hot loop`
+		concrete[i] = total  // legal: concrete key, no generic hashing
+		total += len(counts)
+	}
+	return total
+}
+
+// hotAppend exercises the non-preallocated-append rule: appending to
+// a slice the function never sizes is flagged, appending to 3-arg
+// make or scratch-reuse slices is not.
+func hotAppend(scratch []int, n int) int {
+	var bare []int
+	sized := make([]int, 0, n)
+	reused := scratch[:0]
+	//lightpath:hotloop
+	for i := 0; i < n; i++ {
+		bare = append(bare, i)     // want `append to non-preallocated slice bare inside a hot loop`
+		sized = append(sized, i)   // legal: capacity preallocated
+		reused = append(reused, i) // legal: reuses the caller's backing storage
+	}
+	return len(bare) + len(sized) + len(reused)
+}
+
 func cold(n int) []int {
 	var out []int
 	// An ordinary comment does not arm the check.

@@ -132,6 +132,39 @@ func (r Report) byName() map[string]Entry {
 	return m
 }
 
+// CompareTimings diffs the machine-dependent numbers of current
+// against baseline: a benchmark regresses when its ns/op exceeds
+// baseline·nsTol or its allocs/op exceeds baseline·allocsTol. The
+// tolerances are multipliers (1.30 = 30% headroom): timings need slack
+// for machine noise, while allocation counts are deterministic and
+// warrant a much tighter bound. Unlike the paper-metric gate this is
+// advisory — CI runs it as a non-blocking report — because absolute
+// timings are not comparable across machines; the committed baseline
+// still catches order-of-magnitude slips and alloc-count creep.
+// Benchmarks absent from the baseline are skipped (new benchmarks are
+// not regressions); benchmarks missing from the current run are
+// reported. An empty result means no regression.
+func CompareTimings(baseline, current Report, nsTol, allocsTol float64) []string {
+	var diffs []string
+	cur := current.byName()
+	for _, want := range baseline.Benchmarks {
+		got, ok := cur[want.Name]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%s: benchmark missing from current run", want.Name))
+			continue
+		}
+		if want.NsPerOp > 0 && got.NsPerOp > want.NsPerOp*nsTol {
+			diffs = append(diffs, fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f (tolerance %.2fx)",
+				want.Name, got.NsPerOp, want.NsPerOp, nsTol))
+		}
+		if got.AllocsPerOp > want.AllocsPerOp*allocsTol {
+			diffs = append(diffs, fmt.Sprintf("%s: allocs/op %.0f vs baseline %.0f (tolerance %.2fx)",
+				want.Name, got.AllocsPerOp, want.AllocsPerOp, allocsTol))
+		}
+	}
+	return diffs
+}
+
 // DiffPaperMetrics compares the paper metrics of current against
 // baseline and returns one human-readable line per divergence. Only
 // benchmarks and metrics present in the baseline are checked — adding

@@ -110,6 +110,56 @@ func TestDiffPaperMetrics(t *testing.T) {
 	})
 }
 
+func TestCompareTimings(t *testing.T) {
+	base, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("identical", func(t *testing.T) {
+		if diffs := CompareTimings(base, base, 1.5, 1.1); len(diffs) != 0 {
+			t.Fatalf("self-compare not empty: %v", diffs)
+		}
+	})
+	t.Run("within-tolerance", func(t *testing.T) {
+		cur, _ := Parse(strings.NewReader(strings.ReplaceAll(sample, "123456 ns/op", "170000 ns/op")))
+		if diffs := CompareTimings(base, cur, 1.5, 1.1); len(diffs) != 0 {
+			t.Fatalf("in-tolerance slowdown flagged: %v", diffs)
+		}
+	})
+	t.Run("ns-regression", func(t *testing.T) {
+		cur, _ := Parse(strings.NewReader(strings.ReplaceAll(sample, "123456 ns/op", "999999 ns/op")))
+		diffs := CompareTimings(base, cur, 1.5, 1.1)
+		if len(diffs) != 1 || !strings.Contains(diffs[0], "ns/op") {
+			t.Fatalf("ns/op regression not caught: %v", diffs)
+		}
+	})
+	t.Run("allocs-regression", func(t *testing.T) {
+		cur, _ := Parse(strings.NewReader(strings.ReplaceAll(sample, "67 allocs/op", "9999 allocs/op")))
+		diffs := CompareTimings(base, cur, 1.5, 1.1)
+		if len(diffs) != 1 || !strings.Contains(diffs[0], "allocs/op") {
+			t.Fatalf("allocs/op regression not caught: %v", diffs)
+		}
+	})
+	t.Run("improvement-ok", func(t *testing.T) {
+		cur, _ := Parse(strings.NewReader(strings.ReplaceAll(sample, "123456 ns/op", "99 ns/op")))
+		if diffs := CompareTimings(base, cur, 1.5, 1.1); len(diffs) != 0 {
+			t.Fatalf("speedup flagged as regression: %v", diffs)
+		}
+	})
+	t.Run("missing-benchmark", func(t *testing.T) {
+		diffs := CompareTimings(base, Report{}, 1.5, 1.1)
+		if len(diffs) != len(base.Benchmarks) {
+			t.Fatalf("want %d missing-benchmark diffs, got %v", len(base.Benchmarks), diffs)
+		}
+	})
+	t.Run("new-benchmark-ok", func(t *testing.T) {
+		cur := Report{Benchmarks: append([]Entry{{Name: "BenchmarkNew", NsPerOp: 1e12, AllocsPerOp: 1e6}}, base.Benchmarks...)}
+		if diffs := CompareTimings(base, cur, 1.5, 1.1); len(diffs) != 0 {
+			t.Fatalf("new benchmark flagged: %v", diffs)
+		}
+	})
+}
+
 // moduleRoot walks up from the working directory to the go.mod.
 func moduleRoot(t *testing.T) string {
 	t.Helper()

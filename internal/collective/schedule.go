@@ -115,6 +115,21 @@ type Schedule struct {
 	Steps     []Step
 }
 
+// Clone deep-copies the schedule. The failure experiments splice a
+// replacement chip into a schedule in place, so a campaign that plans
+// once and runs many fault trials hands each trial its own clone.
+func (s *Schedule) Clone() *Schedule {
+	out := &Schedule{Name: s.Name, N: s.N, ElemBytes: s.ElemBytes}
+	out.Steps = make([]Step, len(s.Steps))
+	for i, st := range s.Steps {
+		out.Steps[i] = Step{
+			Transfers: append([]Transfer(nil), st.Transfers...),
+			Reconfig:  st.Reconfig,
+		}
+	}
+	return out
+}
+
 // Chips returns the sorted set of chips that appear in the schedule.
 func (s *Schedule) Chips() []int {
 	set := map[int]bool{}
@@ -184,12 +199,16 @@ func (s *Schedule) Validate() error {
 	if s.N < 0 {
 		return fmt.Errorf("collective: schedule %q has negative N", s.Name)
 	}
+	type write struct {
+		chip int
+		r    Range
+	}
+	// One overlap scratch for the whole schedule: validation runs once
+	// per execution (and once more after a repair splice), so growing a
+	// fresh slice per step dominated the validator's allocations.
+	var writes []write
 	for si, st := range s.Steps {
-		type write struct {
-			chip int
-			r    Range
-		}
-		var writes []write
+		writes = writes[:0]
 		for ti, tr := range st.Transfers {
 			if tr.From == tr.To {
 				return fmt.Errorf("collective: %q step %d transfer %d is a self-transfer", s.Name, si, ti)

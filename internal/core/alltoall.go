@@ -51,10 +51,10 @@ func (f *Fabric) PlanAllToAll(a *torus.Allocation, si int, perChip unit.Bytes) (
 		return f.torus.DORPath(tr.From, tr.To)
 	}
 	linkBW := f.params.ChipBandwidth / unit.BitRate(f.params.PhysDims)
-	if plan.ElectricalTime, err = netsim.ExecuteElectrical(elecSched, f.torus, linkBW, pathOf, netsim.ExecOptions{Alpha: f.params.Alpha}); err != nil {
+	if plan.ElectricalTime, err = f.exec.Electrical(elecSched, f.torus, linkBW, pathOf, netsim.ExecOptions{Alpha: f.params.Alpha}); err != nil {
 		return nil, err
 	}
-	if plan.OpticalTime, err = netsim.ExecuteOptical(optSched, f.params.ChipBandwidth, netsim.ExecOptions{Alpha: f.params.Alpha, Reconfig: f.params.Reconfig}); err != nil {
+	if plan.OpticalTime, err = f.exec.Optical(optSched, f.params.ChipBandwidth, netsim.ExecOptions{Alpha: f.params.Alpha, Reconfig: f.params.Reconfig}); err != nil {
 		return nil, err
 	}
 	return plan, nil

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"lightpath/internal/chaos"
 	"lightpath/internal/collective"
@@ -11,6 +12,21 @@ import (
 	"lightpath/internal/torus"
 	"lightpath/internal/unit"
 )
+
+// chaosScratch backs one fault run's buffers: the arena holds the
+// input ramp, every chip's buffer and the replacement's checkpoint,
+// fully rewritten (never zeroed) each run; ref holds the reference
+// reduction. The pool is shared across fabrics because a campaign
+// clones a fresh Fabric per trial — pooling lets a few arenas serve
+// the whole campaign, sequential or fanned out, instead of each trial
+// allocating (and the collector retiring) tens of megabytes.
+type chaosScratch struct {
+	state collective.State
+	arena []float64
+	ref   []float64
+}
+
+var chaosScratchPool = sync.Pool{New: func() any { return new(chaosScratch) }}
 
 // This file is the top of the failure lifecycle: it executes a planned
 // AllReduce step by step against real buffers and a simulated clock,
@@ -122,6 +138,22 @@ func (f *Fabric) RunAllReduceUnderFault(a *torus.Allocation, si int, bufferBytes
 	if err != nil {
 		return nil, err
 	}
+	return f.RunPlannedAllReduceUnderFault(a, plan, victim, failStep, pol)
+}
+
+// RunPlannedAllReduceUnderFault is RunAllReduceUnderFault for a
+// collective that is already planned. Planning is deterministic given
+// the fabric seed and allocation, so a fault campaign plans once and
+// hands each trial a Clone of the plan — the repair splice mutates the
+// plan's schedule in place. The plan must have been produced by a
+// fabric in the same pristine state as f (same seed, no prior faults).
+func (f *Fabric) RunPlannedAllReduceUnderFault(a *torus.Allocation, plan *CollectivePlan, victim, failStep int, pol ChaosPolicy) (*ChaosOutcome, error) {
+	if pol.Detection < 0 {
+		return nil, fmt.Errorf("core: negative detection latency %v", pol.Detection)
+	}
+	if pol.Width < 1 {
+		return nil, fmt.Errorf("core: repair width %d < 1", pol.Width)
+	}
 	sched := plan.Schedule
 	chips := sched.Chips()
 	if !containsInt(chips, victim) {
@@ -134,11 +166,44 @@ func (f *Fabric) RunAllReduceUnderFault(a *torus.Allocation, si int, bufferBytes
 	circuitBW := f.params.ChipBandwidth / unit.BitRate(plan.ActiveDims)
 	// Deterministic per-chip inputs: any values work (the interpreter
 	// checks against the exact reference reduction); a chip- and
-	// index-dependent ramp catches swapped or stale buffers.
-	st := collective.NewState(chips, sched.N, func(chip, i int) float64 {
-		return float64(chip+1) + float64(i)/float64(sched.N)
-	})
-	ref := collective.ReduceAcross(st, chips, sched.N)
+	// index-dependent ramp catches swapped or stale buffers. The
+	// index-dependent term is computed once — the per-chip fills then
+	// add the chip base to the same template values, so every buffer
+	// holds exactly the floats the inline division produced. Buffers
+	// come from a pooled arena: every element is written below, so
+	// reuse skips the zero-fill a fresh NewState would pay per trial.
+	scr := chaosScratchPool.Get().(*chaosScratch)
+	defer chaosScratchPool.Put(scr)
+	n := sched.N
+	if need := (len(chips) + 2) * n; cap(scr.arena) < need {
+		scr.arena = make([]float64, need)
+	}
+	arena := scr.arena
+	ramp := arena[:n:n]
+	for i := range ramp {
+		ramp[i] = float64(i) / float64(n)
+	}
+	if scr.state == nil {
+		scr.state = make(collective.State, len(chips))
+	}
+	clear(scr.state)
+	st := scr.state
+	for ci, c := range chips {
+		buf := arena[(1+ci)*n : (2+ci)*n : (2+ci)*n]
+		base := float64(c + 1)
+		for i := range buf {
+			buf[i] = ramp[i] + base
+		}
+		st[c] = buf
+	}
+	scr.ref = collective.ReduceAcrossInto(scr.ref, st, chips, n)
+	ref := scr.ref
+	// The schedule is validated once here and re-validated after the
+	// repair splices the replacement in; the per-step executions below
+	// then skip re-validation (Interp.ExecuteStep's contract).
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
 
 	out := &ChaosOutcome{
 		Victim:      victim,
@@ -152,7 +217,7 @@ func (f *Fabric) RunAllReduceUnderFault(a *torus.Allocation, si int, bufferBytes
 	var clock unit.Seconds
 	// Healthy prefix: steps before the failure complete normally.
 	for i := 0; i < failStep; i++ {
-		if err := executeStep(st, sched, i); err != nil {
+		if err := f.executeStep(st, sched, i); err != nil {
 			return nil, err
 		}
 		clock += f.stepTime(sched, i, circuitBW)
@@ -198,7 +263,10 @@ func (f *Fabric) RunAllReduceUnderFault(a *torus.Allocation, si int, bufferBytes
 	// Logical splice: the replacement takes over the victim's role in
 	// every remaining step and inherits its step-boundary checkpoint.
 	remapVictim(sched, victim, repl, failStep)
-	buf := make([]float64, len(st[victim]))
+	if err := sched.Validate(); err != nil {
+		return nil, fmt.Errorf("core: schedule invalid after splice: %w", err)
+	}
+	buf := arena[(1+len(chips))*n : (2+len(chips))*n : (2+len(chips))*n]
 	copy(buf, st[victim])
 	st[repl] = buf
 	delete(st, victim)
@@ -211,7 +279,7 @@ func (f *Fabric) RunAllReduceUnderFault(a *torus.Allocation, si int, bufferBytes
 
 	// Resume: replay the interrupted step, then the rest.
 	for i := failStep; i < sched.NumSteps(); i++ {
-		if err := executeStep(st, sched, i); err != nil {
+		if err := f.executeStep(st, sched, i); err != nil {
 			return nil, err
 		}
 		clock += f.stepTime(sched, i, circuitBW)
@@ -307,10 +375,11 @@ func remapVictim(s *collective.Schedule, victim, repl, failStep int) {
 	}
 }
 
-// executeStep runs one step of the schedule against the buffers.
-func executeStep(st collective.State, s *collective.Schedule, i int) error {
-	sub := &collective.Schedule{Name: s.Name, N: s.N, ElemBytes: s.ElemBytes, Steps: s.Steps[i : i+1]}
-	if err := st.Execute(sub); err != nil {
+// executeStep runs one step of the schedule against the buffers,
+// through the fabric's reusable interpreter. The caller validates the
+// schedule (once up front, again after any splice).
+func (f *Fabric) executeStep(st collective.State, s *collective.Schedule, i int) error {
+	if err := f.interp.ExecuteStep(st, s, i); err != nil {
 		return fmt.Errorf("core: step %d: %w", i, err)
 	}
 	return nil
@@ -329,16 +398,26 @@ func (f *Fabric) stepOverhead(s *collective.Schedule, i int) unit.Seconds {
 // the largest per-chip payload at circuit bandwidth (the ExecuteOptical
 // model).
 func (f *Fabric) stepDataTime(s *collective.Schedule, i int, circuitBW unit.BitRate) unit.Seconds {
-	perChip := map[int]unit.Bytes{}
-	for _, tr := range s.Steps[i].Transfers {
-		perChip[tr.From] += tr.Bytes(s.ElemBytes)
+	if len(f.stepChipBytes) < f.torus.Size() {
+		f.stepChipBytes = make([]unit.Bytes, f.torus.Size())
 	}
+	touched := f.stepChipTouched[:0]
+	for _, tr := range s.Steps[i].Transfers {
+		if f.stepChipBytes[tr.From] == 0 {
+			touched = append(touched, tr.From)
+		}
+		f.stepChipBytes[tr.From] += tr.Bytes(s.ElemBytes)
+	}
+	// worst is a max over per-chip tallies — order-independent, so the
+	// touched-list walk gives the same value the map version did.
 	var worst unit.Seconds
-	for _, b := range perChip {
-		if t := circuitBW.TimeFor(b); t > worst {
+	for _, c := range touched {
+		if t := circuitBW.TimeFor(f.stepChipBytes[c]); t > worst {
 			worst = t
 		}
+		f.stepChipBytes[c] = 0
 	}
+	f.stepChipTouched = touched[:0]
 	return worst
 }
 

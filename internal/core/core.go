@@ -48,6 +48,17 @@ type Fabric struct {
 	alloc  *route.Allocator
 	params cost.Params
 	rand   *rng.Rand
+	// exec and interp reuse the fluid-simulator and schedule-interpreter
+	// scratch across the many executions a fabric performs (planning,
+	// chaos trials); stepChip is the per-step payload tally of the
+	// fault runs. A Fabric is single-goroutine, like its rand;
+	// campaigns clone per trial.
+	exec   netsim.Executor
+	interp collective.Interp
+	// stepChipBytes/stepChipTouched tally one step's per-chip payload,
+	// indexed by chip; only touched entries are reset between steps.
+	stepChipBytes   []unit.Bytes
+	stepChipTouched []int
 }
 
 // New builds a fabric. Zero-valued options take the paper's defaults.
@@ -115,6 +126,14 @@ type CollectivePlan struct {
 	ElectricalTime, OpticalTime unit.Seconds
 	// Schedule is the optical schedule (with reconfiguration marks).
 	Schedule *collective.Schedule
+}
+
+// Clone deep-copies the plan, including its schedule, so independent
+// fault trials can each splice their own copy.
+func (p *CollectivePlan) Clone() *CollectivePlan {
+	q := *p
+	q.Schedule = p.Schedule.Clone()
+	return &q
 }
 
 // Speedup returns ElectricalTime / OpticalTime.
@@ -207,11 +226,11 @@ func (f *Fabric) PlanAllReduce(a *torus.Allocation, si int, bufferBytes unit.Byt
 		return nil, err
 	}
 	linkBW := f.params.ChipBandwidth / unit.BitRate(f.params.PhysDims)
-	if plan.ElectricalTime, err = netsim.ExecuteElectrical(elecSched, f.torus, linkBW, nil, netsim.ExecOptions{Alpha: f.params.Alpha}); err != nil {
+	if plan.ElectricalTime, err = f.exec.Electrical(elecSched, f.torus, linkBW, nil, netsim.ExecOptions{Alpha: f.params.Alpha}); err != nil {
 		return nil, err
 	}
 	circuitBW := f.params.ChipBandwidth / unit.BitRate(activeDims)
-	if plan.OpticalTime, err = netsim.ExecuteOptical(optSched, circuitBW, netsim.ExecOptions{Alpha: f.params.Alpha, Reconfig: f.params.Reconfig}); err != nil {
+	if plan.OpticalTime, err = f.exec.Optical(optSched, circuitBW, netsim.ExecOptions{Alpha: f.params.Alpha, Reconfig: f.params.Reconfig}); err != nil {
 		return nil, err
 	}
 	return plan, nil

@@ -90,9 +90,11 @@ type flowKey struct {
 }
 
 // stepBeta returns the transmission time of one step: the slowest
-// (chip, dimension) group's bytes over the per-flow bandwidth.
-func stepBeta(step collective.Step, elemBytes unit.Bytes, flowBW unit.BitRate) unit.Seconds {
-	groups := map[flowKey]unit.Bytes{}
+// (chip, dimension) group's bytes over the per-flow bandwidth. The
+// caller owns the groups scratch (cleared here) so pricing a whole
+// schedule reuses one map instead of allocating per step.
+func stepBeta(groups map[flowKey]unit.Bytes, step collective.Step, elemBytes unit.Bytes, flowBW unit.BitRate) unit.Seconds {
+	clear(groups)
 	for _, tr := range step.Transfers {
 		groups[flowKey{chip: tr.From, dim: tr.Dim}] += tr.Bytes(elemBytes)
 	}
@@ -115,8 +117,9 @@ func (p Params) Electrical(s *collective.Schedule) (Cost, error) {
 	perDim := p.ChipBandwidth / unit.BitRate(p.PhysDims)
 	c := Cost{Steps: s.NumSteps()}
 	c.Alpha = unit.Seconds(c.Steps) * p.Alpha
+	groups := make(map[flowKey]unit.Bytes)
 	for _, step := range s.Steps {
-		c.Beta += stepBeta(step, s.ElemBytes, perDim)
+		c.Beta += stepBeta(groups, step, s.ElemBytes, perDim)
 	}
 	return c, nil
 }
@@ -138,8 +141,9 @@ func (p Params) Optical(s *collective.Schedule, activeDims int) (Cost, error) {
 	c := Cost{Steps: s.NumSteps(), Reconfigs: s.Reconfigs()}
 	c.Alpha = unit.Seconds(c.Steps) * p.Alpha
 	c.ReconfigTime = unit.Seconds(c.Reconfigs) * p.Reconfig
+	groups := make(map[flowKey]unit.Bytes)
 	for _, step := range s.Steps {
-		c.Beta += stepBeta(step, s.ElemBytes, perRing)
+		c.Beta += stepBeta(groups, step, s.ElemBytes, perRing)
 	}
 	return c, nil
 }

@@ -165,6 +165,7 @@ func MakeTable2(p Params, t *torus.Torus, s *torus.Slice, dimOrder []int, n int,
 		return step.Transfers[0].Dim
 	}
 	var cur *Table2Stage
+	groups := make(map[flowKey]unit.Bytes)
 	for si, step := range elec.Steps {
 		d := phaseOf(step)
 		if cur == nil || cur.Dim != d {
@@ -176,8 +177,8 @@ func MakeTable2(p Params, t *torus.Torus, s *torus.Slice, dimOrder []int, n int,
 			cur.BufferBytes = unit.Bytes(step.Transfers[0].Range.Len()*ringSize) * elemBytes
 		}
 		cur.AlphaSteps++
-		cur.ElecBeta += stepBeta(step, elec.ElemBytes, perDim)
-		cur.OptBeta += stepBeta(opt.Steps[si], opt.ElemBytes, perRing)
+		cur.ElecBeta += stepBeta(groups, step, elec.ElemBytes, perDim)
+		cur.OptBeta += stepBeta(groups, opt.Steps[si], opt.ElemBytes, perRing)
 		if opt.Steps[si].Reconfig {
 			cur.Reconfigs++
 		}

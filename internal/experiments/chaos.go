@@ -151,8 +151,9 @@ func Chaos(seed uint64, trials int, bufferBytes unit.Bytes) (ChaosResult, error)
 		return ChaosResult{}, fmt.Errorf("experiments: engine scheduled %d chip failures, need %d", len(chipFaults), trials)
 	}
 
-	// One probe plan to learn the schedule length; each trial re-plans
-	// identically on a fresh fabric.
+	// Planning is deterministic given the seed and allocation, so the
+	// campaign plans the collective once on a probe fabric; each trial
+	// receives its own Clone (the repair splice mutates the schedule).
 	probe, err := core.New(core.Options{RackShape: sc.Torus.Shape(), Seed: seed})
 	if err != nil {
 		return ChaosResult{}, err
@@ -200,7 +201,7 @@ func Chaos(seed uint64, trials int, bufferBytes unit.Bytes) (ChaosResult, error)
 		// Fresh hardware per trial: failures must not accumulate
 		// across the campaign.
 		fabric := proto.Clone()
-		outcome, err := fabric.RunAllReduceUnderFault(sc.Alloc, victimSlice, bufferBytes, victim, failStep, pol)
+		outcome, err := fabric.RunPlannedAllReduceUnderFault(sc.Alloc, probePlan.Clone(), victim, failStep, pol)
 		if err != nil {
 			return chaosOutcome{}, fmt.Errorf("experiments: trial %d (chip %d, step %d): %w", i, victim, failStep, err)
 		}

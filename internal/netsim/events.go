@@ -3,7 +3,6 @@ package netsim
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"lightpath/internal/unit"
 )
@@ -119,186 +118,11 @@ const (
 // (a retry into a still-dead fabric stalls and is re-detected,
 // consuming another retry). Failures that heal within the detection
 // window resume transparently with no retransmission.
+//
+// RunEvents is a convenience shim over a fresh Sim; callers running
+// many event-driven simulations hold a Sim and call its RunEvents
+// method to reuse the solver's scratch across calls.
 func RunEvents[R comparable](flows []Flow[R], caps map[R]unit.BitRate, events []Event[R], pol RetryPolicy) (EventResult, error) {
-	if err := pol.validate(); err != nil {
-		return EventResult{}, err
-	}
-	for i := 1; i < len(events); i++ {
-		if events[i].At < events[i-1].At {
-			return EventResult{}, fmt.Errorf("netsim: events not sorted by time (event %d at %v after %v)",
-				i, events[i].At, events[i-1].At)
-		}
-	}
-	res := EventResult{
-		Result: Result{
-			FlowEnd:   make([]unit.Seconds, len(flows)),
-			Delivered: make([]unit.Bytes, len(flows)),
-		},
-		Retries: make([]int, len(flows)),
-		Stalled: make([]unit.Seconds, len(flows)),
-	}
-
-	remaining := make([]float64, len(flows))
-	phase := make([]flowPhase, len(flows))
-	deadline := make([]float64, len(flows)) // detection or backoff expiry, by phase
-	active := 0
-	for i, f := range flows {
-		if f.Bytes < 0 {
-			return EventResult{}, fmt.Errorf("netsim: flow %d has negative size", i)
-		}
-		if f.Bytes == 0 {
-			continue
-		}
-		if len(f.Via) == 0 {
-			return EventResult{}, fmt.Errorf("%w: flow %d traverses no resources", ErrStarvedFlow, i)
-		}
-		for _, r := range f.Via {
-			c, ok := caps[r]
-			if !ok {
-				return EventResult{}, fmt.Errorf("netsim: flow %d uses unknown resource %v", i, r)
-			}
-			if c <= 0 {
-				return EventResult{}, fmt.Errorf("%w: flow %d crosses zero-capacity resource %v", ErrStarvedFlow, i, r)
-			}
-		}
-		remaining[i] = float64(f.Bytes)
-		phase[i] = phaseRunning
-		active++
-	}
-
-	dead := map[R]bool{}
-	healthy := func(i int) bool {
-		for _, r := range flows[i].Via {
-			if dead[r] {
-				return false
-			}
-		}
-		return true
-	}
-	// Stalled flows transmit nothing, so they are excluded from the
-	// rate computation entirely (zeroed remaining) and the survivors
-	// share the full configured capacities.
-	now := 0.0
-	eventIdx := 0
-	runRemaining := make([]float64, len(flows))
-	var scratch rateScratch[R]
-	//lightpath:hotloop
-	for active > 0 {
-		// Rates over running flows only.
-		for i := range flows {
-			runRemaining[i] = 0
-			if phase[i] == phaseRunning {
-				runRemaining[i] = remaining[i]
-			}
-		}
-		rates := fairRatesInto(&scratch, flows, caps, runRemaining)
-
-		// Advance to the next transition: a completion, an external
-		// event, a detection expiry, or a backoff expiry.
-		dt := math.Inf(1)
-		for i := range flows {
-			switch phase[i] {
-			case phaseRunning:
-				if rates[i] <= 0 {
-					return EventResult{}, fmt.Errorf("%w: flow %d received zero rate", ErrStarvedFlow, i)
-				}
-				if t := remaining[i] / rates[i]; t < dt {
-					dt = t
-				}
-			case phaseStalled, phaseBackoff:
-				if t := deadline[i] - now; t < dt {
-					dt = t
-				}
-			}
-		}
-		if eventIdx < len(events) {
-			if t := float64(events[eventIdx].At) - now; t < dt {
-				dt = t
-			}
-		}
-		if math.IsInf(dt, 1) {
-			return EventResult{}, fmt.Errorf("%w (t=%v)", ErrStalledForever, unit.Seconds(now))
-		}
-		if dt < 0 {
-			dt = 0
-		}
-		now += dt
-
-		// Progress and stall accounting.
-		for i := range flows {
-			switch phase[i] {
-			case phaseRunning:
-				remaining[i] -= rates[i] * dt
-				if remaining[i] <= 1e-6 {
-					remaining[i] = 0
-					phase[i] = phaseDone
-					res.FlowEnd[i] = unit.Seconds(now)
-					res.Delivered[i] = flows[i].Bytes
-					active--
-				}
-			case phaseStalled, phaseBackoff:
-				res.Stalled[i] += unit.Seconds(dt)
-			}
-		}
-
-		// External events at now.
-		for eventIdx < len(events) && float64(events[eventIdx].At) <= now+1e-15 {
-			ev := events[eventIdx]
-			eventIdx++
-			for _, r := range ev.Fail {
-				dead[r] = true
-			}
-			for _, r := range ev.Restore {
-				delete(dead, r)
-			}
-		}
-
-		// Phase transitions driven by health and deadlines.
-		for i := range flows {
-			switch phase[i] {
-			case phaseRunning:
-				if !healthy(i) {
-					phase[i] = phaseStalled
-					deadline[i] = now + float64(pol.Detection)
-				}
-			case phaseStalled:
-				if healthy(i) {
-					// Healed inside the detection window: transparent
-					// resume, no retransmission.
-					phase[i] = phaseRunning
-					continue
-				}
-				if now >= deadline[i]-1e-15 {
-					// Declared dead: abandon the attempt, pay the
-					// backoff, retransmit from scratch.
-					res.WastedBytes += flows[i].Bytes - unit.Bytes(remaining[i])
-					res.Retries[i]++
-					if res.Retries[i] > pol.MaxRetries {
-						return EventResult{}, fmt.Errorf("%w: flow %d after %d attempts", ErrRetriesExhausted, i, res.Retries[i])
-					}
-					remaining[i] = float64(flows[i].Bytes)
-					backoff := float64(pol.Backoff) * math.Pow(pol.BackoffFactor, float64(res.Retries[i]-1))
-					phase[i] = phaseBackoff
-					deadline[i] = now + backoff
-				}
-			case phaseBackoff:
-				if now >= deadline[i]-1e-15 {
-					if healthy(i) {
-						phase[i] = phaseRunning
-					} else {
-						// Retry into a dead fabric: stall again and
-						// let detection charge the next retry.
-						phase[i] = phaseStalled
-						deadline[i] = now + float64(pol.Detection)
-					}
-				}
-			}
-		}
-	}
-	for i := range flows {
-		if res.FlowEnd[i] > res.Makespan {
-			res.Makespan = res.FlowEnd[i]
-		}
-	}
-	return res, nil
+	var s Sim[R]
+	return s.RunEvents(flows, caps, events, pol)
 }

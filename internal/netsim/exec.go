@@ -25,19 +25,43 @@ type ExecOptions struct {
 	HopLatency unit.Seconds
 }
 
-// ExecuteElectrical runs the schedule on a direct-connect torus where
-// every transfer occupies the single directed link between its
-// endpoints (they must be torus-adjacent) and each link has capacity
-// linkBW (= B/D_phys). Concurrent transfers crossing the same link
-// share it — the congestion the paper defines in §4.1.
+// Executor runs collective schedules on the fluid simulator, reusing
+// every per-step structure — the flow list, the capacity map, the
+// per-chip payload tally, and the solver's own scratch — across steps
+// and calls. A zero Executor is ready to use; it must not be shared
+// between goroutines. The package-level ExecuteElectrical and
+// ExecuteOptical are shims over a fresh Executor for one-shot callers.
+type Executor struct {
+	sim     Sim[torus.Link]
+	flows   []Flow[torus.Link]
+	caps    map[torus.Link]unit.BitRate
+	perChip map[int]unit.Bytes
+	// pathBuf backs the single-link default paths of one step's flows;
+	// it is sized to the step's transfer count up front so the Via
+	// subslices handed to the solver are never invalidated by growth.
+	pathBuf []torus.Link
+}
+
+// Electrical runs the schedule on a direct-connect torus where every
+// transfer occupies the single directed link between its endpoints
+// (they must be torus-adjacent) and each link has capacity linkBW
+// (= B/D_phys). Concurrent transfers crossing the same link share it —
+// the congestion the paper defines in §4.1.
 //
 // pathOf, when non-nil, overrides the per-transfer path (used by the
 // failure experiments to route repair detours over multi-hop paths).
-func ExecuteElectrical(s *collective.Schedule, t *torus.Torus, linkBW unit.BitRate, pathOf func(collective.Transfer) []torus.Link, opt ExecOptions) (unit.Seconds, error) {
+func (e *Executor) Electrical(s *collective.Schedule, t *torus.Torus, linkBW unit.BitRate, pathOf func(collective.Transfer) []torus.Link, opt ExecOptions) (unit.Seconds, error) {
+	if e.caps == nil {
+		e.caps = make(map[torus.Link]unit.BitRate)
+	}
 	var total unit.Seconds
 	for si, step := range s.Steps {
-		flows := make([]Flow[torus.Link], 0, len(step.Transfers))
-		caps := make(map[torus.Link]unit.BitRate)
+		e.flows = e.flows[:0]
+		clear(e.caps)
+		if cap(e.pathBuf) < len(step.Transfers) {
+			e.pathBuf = make([]torus.Link, 0, len(step.Transfers))
+		}
+		e.pathBuf = e.pathBuf[:0]
 		longestPath := 0
 		for _, tr := range step.Transfers {
 			var path []torus.Link
@@ -48,17 +72,18 @@ func ExecuteElectrical(s *collective.Schedule, t *torus.Torus, linkBW unit.BitRa
 				if t != nil && t.LinkDim(l) < 0 {
 					return 0, fmt.Errorf("netsim: step %d transfer %v is not torus-adjacent", si, l)
 				}
-				path = []torus.Link{l}
+				e.pathBuf = append(e.pathBuf, l)
+				path = e.pathBuf[len(e.pathBuf)-1:]
 			}
 			if len(path) > longestPath {
 				longestPath = len(path)
 			}
 			for _, l := range path {
-				caps[l] = linkBW
+				e.caps[l] = linkBW
 			}
-			flows = append(flows, Flow[torus.Link]{Bytes: tr.Bytes(s.ElemBytes), Via: path})
+			e.flows = append(e.flows, Flow[torus.Link]{Bytes: tr.Bytes(s.ElemBytes), Via: path})
 		}
-		res, err := Run(flows, caps)
+		res, err := e.sim.Run(e.flows, e.caps)
 		if err != nil {
 			return 0, fmt.Errorf("netsim: step %d: %w", si, err)
 		}
@@ -67,24 +92,27 @@ func ExecuteElectrical(s *collective.Schedule, t *torus.Torus, linkBW unit.BitRa
 	return total, nil
 }
 
-// ExecuteOptical runs the schedule on a photonic fabric where every
-// transfer rides a dedicated contention-free circuit of capacity
-// circuitBW (= B / active ring dimensions, per the redirection model).
+// Optical runs the schedule on a photonic fabric where every transfer
+// rides a dedicated contention-free circuit of capacity circuitBW
+// (= B / active ring dimensions, per the redirection model).
 // Reconfiguration-marked steps pay opt.Reconfig before data moves.
-func ExecuteOptical(s *collective.Schedule, circuitBW unit.BitRate, opt ExecOptions) (unit.Seconds, error) {
+func (e *Executor) Optical(s *collective.Schedule, circuitBW unit.BitRate, opt ExecOptions) (unit.Seconds, error) {
 	if circuitBW <= 0 {
 		return 0, fmt.Errorf("netsim: non-positive circuit bandwidth %v", circuitBW)
 	}
+	if e.perChip == nil {
+		e.perChip = make(map[int]unit.Bytes)
+	}
 	var total unit.Seconds
-	for si, step := range s.Steps {
+	for _, step := range s.Steps {
 		// Dedicated circuits: flows are independent; the step lasts as
 		// long as its largest per-chip payload.
-		perChip := map[int]unit.Bytes{}
+		clear(e.perChip)
 		for _, tr := range step.Transfers {
-			perChip[tr.From] += tr.Bytes(s.ElemBytes)
+			e.perChip[tr.From] += tr.Bytes(s.ElemBytes)
 		}
 		var worst unit.Seconds
-		for _, b := range perChip {
+		for _, b := range e.perChip {
 			if t := circuitBW.TimeFor(b); t > worst {
 				worst = t
 			}
@@ -93,7 +121,20 @@ func ExecuteOptical(s *collective.Schedule, circuitBW unit.BitRate, opt ExecOpti
 			total += opt.Reconfig
 		}
 		total += opt.Alpha + worst
-		_ = si
 	}
 	return total, nil
+}
+
+// ExecuteElectrical is Executor.Electrical on a fresh Executor —
+// convenient for one-shot callers; loops should hold an Executor.
+func ExecuteElectrical(s *collective.Schedule, t *torus.Torus, linkBW unit.BitRate, pathOf func(collective.Transfer) []torus.Link, opt ExecOptions) (unit.Seconds, error) {
+	var e Executor
+	return e.Electrical(s, t, linkBW, pathOf, opt)
+}
+
+// ExecuteOptical is Executor.Optical on a fresh Executor — convenient
+// for one-shot callers; loops should hold an Executor.
+func ExecuteOptical(s *collective.Schedule, circuitBW unit.BitRate, opt ExecOptions) (unit.Seconds, error) {
+	var e Executor
+	return e.Optical(s, circuitBW, opt)
 }

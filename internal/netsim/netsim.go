@@ -14,7 +14,6 @@ package netsim
 
 import (
 	"errors"
-	"fmt"
 	"math"
 
 	"lightpath/internal/unit"
@@ -48,75 +47,13 @@ var ErrStarvedFlow = errors.New("netsim: flow can never complete")
 // all complete, returning per-flow completion times. Flows with zero
 // bytes complete at time zero. Resources not present in caps are an
 // error — silently treating them as infinite would hide modeling bugs.
+//
+// Run is a convenience shim over a fresh Sim; callers simulating many
+// flow sets hold a Sim and call its Run method to reuse the solver's
+// interning tables, CSR incidence and result storage across calls.
 func Run[R comparable](flows []Flow[R], caps map[R]unit.BitRate) (Result, error) {
-	res := Result{
-		FlowEnd:   make([]unit.Seconds, len(flows)),
-		Delivered: make([]unit.Bytes, len(flows)),
-	}
-	remaining := make([]float64, len(flows)) // bytes left
-	active := 0
-	for i, f := range flows {
-		if f.Bytes < 0 {
-			return Result{}, fmt.Errorf("netsim: flow %d has negative size", i)
-		}
-		if f.Bytes == 0 {
-			continue
-		}
-		if len(f.Via) == 0 {
-			return Result{}, fmt.Errorf("%w: flow %d traverses no resources", ErrStarvedFlow, i)
-		}
-		for _, r := range f.Via {
-			c, ok := caps[r]
-			if !ok {
-				return Result{}, fmt.Errorf("netsim: flow %d uses unknown resource %v", i, r)
-			}
-			if c <= 0 {
-				return Result{}, fmt.Errorf("%w: flow %d crosses zero-capacity resource %v", ErrStarvedFlow, i, r)
-			}
-		}
-		remaining[i] = float64(f.Bytes)
-		active++
-	}
-
-	now := 0.0
-	var scratch rateScratch[R]
-	//lightpath:hotloop
-	for active > 0 {
-		rates := fairRatesInto(&scratch, flows, caps, remaining)
-		// Advance to the earliest completion.
-		dt := math.Inf(1)
-		for i := range flows {
-			if remaining[i] <= 0 {
-				continue
-			}
-			if rates[i] <= 0 {
-				return Result{}, fmt.Errorf("%w: flow %d received zero rate", ErrStarvedFlow, i)
-			}
-			if t := remaining[i] / rates[i]; t < dt {
-				dt = t
-			}
-		}
-		now += dt
-		for i := range flows {
-			if remaining[i] <= 0 {
-				continue
-			}
-			remaining[i] -= rates[i] * dt
-			// Tolerate float round-off at the completion boundary.
-			if remaining[i] <= 1e-6 {
-				remaining[i] = 0
-				res.FlowEnd[i] = unit.Seconds(now)
-				res.Delivered[i] = flows[i].Bytes
-				active--
-			}
-		}
-	}
-	for i := range flows {
-		if res.FlowEnd[i] > res.Makespan {
-			res.Makespan = res.FlowEnd[i]
-		}
-	}
-	return res, nil
+	var s Sim[R]
+	return s.Run(flows, caps)
 }
 
 // rateScratch is the reusable working storage of the max-min fair
@@ -157,7 +94,9 @@ func (s *rateScratch[R]) reset(n int, caps int) {
 
 // fairRates computes max-min fair rates (bytes/second) by progressive
 // filling: repeatedly find the most constrained resource, freeze its
-// flows at the fair share, and remove them.
+// flows at the fair share, and remove them. It is the reference
+// oracle the interned CSR solver (Sim, solver.go) is differentially
+// tested against; production paths go through Sim.
 func fairRates[R comparable](flows []Flow[R], caps map[R]unit.BitRate, remaining []float64) []float64 {
 	var s rateScratch[R]
 	return fairRatesInto(&s, flows, caps, remaining)
@@ -173,7 +112,6 @@ func fairRatesInto[R comparable](s *rateScratch[R], flows []Flow[R], caps map[R]
 	// scan to first-use order so equal-share ties always resolve the
 	// same way regardless of map iteration order.
 	residual, users, order := s.residual, s.users, s.order
-	defer func() { s.order = order }()
 	for i, f := range flows {
 		if remaining[i] <= 0 {
 			frozen[i] = true
@@ -187,6 +125,9 @@ func fairRatesInto[R comparable](s *rateScratch[R], flows []Flow[R], caps map[R]
 			users[r]++
 		}
 	}
+	// order is complete once the census above finishes; saving it here
+	// (instead of in a deferred closure) keeps the call defer-free.
+	s.order = order
 
 	for {
 		// Most constrained resource: minimal residual / users.

@@ -78,8 +78,14 @@ func (a *Allocation) FreeChips() []int {
 // consuming its bandwidth" (§4.2) — so any other tenant's chip on the
 // line makes the ring congesting.
 func (a *Allocation) LineExclusive(i, d, si int, allowFreePassThrough bool) bool {
-	for _, chip := range a.t.Line(i, d) {
-		o := a.owner[chip]
+	// Walk the line by stride arithmetic rather than materializing it
+	// with Line: this is the inner loop of UsableDims, which every
+	// collective plan calls, and chip = base + v*stride visits the same
+	// chips Line returns without allocating.
+	stride, extent := a.t.strides[d], a.t.shape[d]
+	base := i - ((i/stride)%extent)*stride
+	for v := 0; v < extent; v++ {
+		o := a.owner[base+v*stride]
 		if o == si {
 			continue
 		}

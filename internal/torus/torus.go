@@ -210,22 +210,26 @@ func (t *Torus) LinkDim(l Link) int {
 	if l.From == l.To {
 		return -1
 	}
-	cf, ct := t.Coord(l.From), t.Coord(l.To)
+	if l.From < 0 || l.From >= t.Size() || l.To < 0 || l.To >= t.Size() {
+		panic(fmt.Sprintf("torus: link %v out of range [0, %d)", l, t.Size()))
+	}
+	// Per-dimension coordinates computed from the strides directly;
+	// this runs per transfer in the schedule executors, so it must not
+	// materialize Coord slices.
 	dim := -1
-	for d := range cf {
-		if cf[d] == ct[d] {
+	for d := range t.shape {
+		e := t.shape[d]
+		vf := (l.From / t.strides[d]) % e
+		vt := (l.To / t.strides[d]) % e
+		if vf == vt {
 			continue
 		}
 		if dim >= 0 {
 			return -1 // differs in more than one dimension
 		}
-		e := t.shape[d]
-		diff := (ct[d] - cf[d] + e) % e
+		diff := (vt - vf + e) % e
 		if diff != 1 && diff != e-1 {
 			return -1 // not adjacent along d
-		}
-		if e == 2 && diff == 1 {
-			// Adjacent both ways on an extent-2 dimension; fine.
 		}
 		dim = d
 	}
