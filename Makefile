@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet check chaos-smoke soak-smoke bench bench-smoke bench-compare
+.PHONY: all build test race lint fmt vet vet-baseline vet-sarif check chaos-smoke soak-smoke bench bench-smoke bench-compare
 
 all: check
 
@@ -20,9 +20,21 @@ test:
 race:
 	$(GO) test -race -timeout 20m ./...
 
-## lint: formatting check, go vet, and the repo-specific analyzers.
+## lint: formatting check, go vet, and the repo-specific analyzers
+## (per-analyzer counts printed; unbaselined error findings fail).
 lint: fmt vet
-	$(GO) run ./cmd/lightpath-vet ./...
+	$(GO) run ./cmd/lightpath-vet -counts ./...
+
+## vet-baseline: accept the current lightpath-vet findings as known
+## debt by regenerating vet_baseline.json. Review the diff before
+## committing — every entry is a suppressed finding.
+vet-baseline:
+	$(GO) run ./cmd/lightpath-vet -write-baseline ./...
+
+## vet-sarif: write the suite's findings as SARIF 2.1.0 to vet.sarif
+## for code-scanning upload.
+vet-sarif:
+	$(GO) run ./cmd/lightpath-vet -sarif ./... > vet.sarif || true
 
 ## fmt: fail if any file needs gofmt.
 fmt:

@@ -3,6 +3,8 @@ package main
 import (
 	"encoding/json"
 	"go/token"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -10,13 +12,17 @@ import (
 )
 
 // TestRepoIsClean is the acceptance gate for the analyzer suite: the
-// repository itself must pass every lightpath-vet analyzer. A failure
-// here means a change reintroduced a determinism, unit-safety,
-// layering, error-handling, or documentation violation.
+// repository itself must pass every lightpath-vet analyzer with an
+// empty effective baseline. A failure here means a change
+// reintroduced a determinism, unit-safety, layering, error-handling,
+// concurrency-capture, arena-escape, or documentation violation.
 func TestRepoIsClean(t *testing.T) {
 	var stdout, stderr strings.Builder
 	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
 		t.Fatalf("lightpath-vet ./... exited %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if out := stdout.String(); out != "" {
+		t.Fatalf("lightpath-vet ./... printed findings:\n%s", out)
 	}
 }
 
@@ -25,7 +31,10 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exited %d: %s", code, stderr.String())
 	}
-	for _, name := range []string{"determinism", "unitsafety", "layering", "errdrop", "exportdoc", "hotalloc"} {
+	for _, name := range []string{
+		"determinism", "unitsafety", "unittaint", "layering", "errdrop",
+		"exportdoc", "hotalloc", "parcapture", "arenaescape",
+	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
 		}
@@ -49,6 +58,13 @@ func TestUnknownAnalyzerIsUsageError(t *testing.T) {
 	}
 }
 
+func TestJSONAndSARIFAreExclusive(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-json", "-sarif", "./internal/unit"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-json -sarif exited %d, want 2", code)
+	}
+}
+
 func TestJSONOutputCleanRun(t *testing.T) {
 	var stdout, stderr strings.Builder
 	if code := run([]string{"-json", "./internal/unit"}, &stdout, &stderr); code != 0 {
@@ -67,22 +83,135 @@ func TestJSONOutputCleanRun(t *testing.T) {
 	}
 }
 
+// TestSARIFOutputCleanRun checks the SARIF envelope: version 2.1.0,
+// one run, the full rule set even when there are no results.
+func TestSARIFOutputCleanRun(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-sarif", "./internal/unit"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-sarif ./internal/unit exited %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &log); err != nil {
+		t.Fatalf("output is not SARIF JSON: %v\n%s", err, stdout.String())
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("sarif version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("sarif runs = %d, want 1", len(log.Runs))
+	}
+	if got := log.Runs[0].Tool.Driver.Name; got != "lightpath-vet" {
+		t.Errorf("driver name = %q, want lightpath-vet", got)
+	}
+	if got, want := len(log.Runs[0].Tool.Driver.Rules), len(analysis.All()); got != want {
+		t.Errorf("sarif rules = %d, want %d (one per analyzer)", got, want)
+	}
+	if len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean package produced %d sarif results", len(log.Runs[0].Results))
+	}
+}
+
+// TestBaselineSuppressesFindings runs the suite over the errdrop
+// fixture (known-dirty), writes a baseline from its findings, and
+// re-runs with that baseline: the second run must exit clean with
+// everything suppressed.
+func TestBaselineSuppressesFindings(t *testing.T) {
+	// Patterns resolve relative to the module root, not the test's cwd.
+	fixture := "./internal/analysis/testdata/src/errdrop"
+	bl := filepath.Join(t.TempDir(), "baseline.json")
+
+	// A dirty run with an empty baseline gates.
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-baseline", bl, "-only", "errdrop", fixture}, &stdout, &stderr); code != 1 {
+		t.Fatalf("dirty fixture exited %d, want 1\n%s%s", code, stdout.String(), stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", bl, "-write-baseline", "-only", "errdrop", fixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline exited %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if _, err := os.Stat(bl); err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+
+	// With the baseline in force the same findings no longer gate, and
+	// -json marks them suppressed.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", bl, "-json", "-only", "errdrop", fixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baselined run exited %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	var got []jsonFinding
+	if err := json.Unmarshal([]byte(stdout.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("baselined run reported no findings in -json output; suppressed findings should still be listed")
+	}
+	for _, f := range got {
+		if !f.Suppressed {
+			t.Errorf("finding not suppressed by its own baseline: %+v", f)
+		}
+		if f.Hash == "" {
+			t.Errorf("finding missing hash: %+v", f)
+		}
+		if f.Severity == "" {
+			t.Errorf("finding missing severity: %+v", f)
+		}
+	}
+}
+
+// TestCountsOutput checks that -counts prints a per-analyzer tally
+// including zero rows.
+func TestCountsOutput(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-counts", "./internal/unit"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-counts exited %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "findings by analyzer") {
+		t.Fatalf("-counts printed no tally:\n%s", out)
+	}
+	for _, name := range []string{"determinism", "parcapture", "arenaescape", "unittaint"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-counts tally missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
 func TestWriteJSONFieldMapping(t *testing.T) {
 	var b strings.Builder
 	findings := []analysis.Finding{{
 		Analyzer: "unitsafety",
-		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Severity: analysis.SevError,
+		Pos:      token.Position{Filename: "/mod/x.go", Line: 3, Column: 7},
 		Message:  "exact equality on unit.Seconds",
 	}}
-	if err := writeJSON(&b, findings); err != nil {
+	baseline := &analysis.Baseline{Version: analysis.BaselineVersion}
+	if err := writeJSON(&b, "/mod", findings, baseline); err != nil {
 		t.Fatal(err)
 	}
 	var got []jsonFinding
 	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
 		t.Fatal(err)
 	}
-	want := jsonFinding{Analyzer: "unitsafety", File: "x.go", Line: 3, Col: 7,
-		Message: "exact equality on unit.Seconds"}
+	want := jsonFinding{Analyzer: "unitsafety", Severity: "error", File: "/mod/x.go",
+		Line: 3, Col: 7, Message: "exact equality on unit.Seconds",
+		Hash: findings[0].Hash("/mod", 0)}
 	if len(got) != 1 || got[0] != want {
 		t.Fatalf("round-trip = %+v, want %+v", got, want)
 	}

@@ -1,22 +1,35 @@
 // Package analysis implements lightpath-vet, the repository's
-// static-analysis suite. It provides a small analyzer framework plus a
-// zero-dependency package loader built on the standard library's
-// go/parser, go/types, and go/importer — no golang.org/x/tools import,
-// so go.mod stays dependency-free.
+// static-analysis suite. It provides a multi-pass analyzer framework —
+// a package loader, a shared fact base (symbol table + approximate
+// call graph, see Facts), and a reporting layer (stable finding
+// hashes, a suppression baseline, SARIF output) — built entirely on
+// the standard library's go/parser, go/types, and go/importer: no
+// golang.org/x/tools import, so go.mod stays dependency-free.
 //
 // The analyzers encode invariants that the simulator's reproducibility
 // argument depends on and that ordinary `go vet` cannot check:
 //
-//   - determinism: no wall-clock or global-rand entropy, no
-//     iteration-order-dependent output from map ranges.
+//   - determinism: no wall-clock, global-rand, or process-environment
+//     entropy, no iteration-order-dependent output from map ranges.
 //   - unitsafety: no arithmetic that launders distinct internal/unit
 //     newtypes through bare float64(...) casts, and no exact ==/!= on
 //     float-backed unit quantities.
+//   - unittaint: the interprocedural extension of unitsafety — unit
+//     types laundered into float64 parameters are tracked through the
+//     call graph, so cross-unit arithmetic spanning a call site is
+//     caught too.
 //   - layering: the package dependency DAG is explicit and enforced.
-//   - errdrop: error returns may not be silently discarded.
+//   - errdrop: error returns may not be silently discarded, including
+//     inside deferred closures and goroutine bodies.
 //   - exportdoc: exported identifiers under internal/... are documented.
 //   - hotalloc: loops marked //lightpath:hotloop may not allocate
 //     slices or maps per iteration.
+//   - parcapture: closures passed as trial bodies to engine.Map and
+//     engine.Stream may not write state captured from the enclosing
+//     scope (the data-race class fixed by hand in PR 3).
+//   - arenaescape: pooled or //lightpath:arena-marked scratch buffers
+//     may not escape the function that borrowed them (the aliasing
+//     hazard class from PR 5's arena work).
 package analysis
 
 import (
@@ -27,10 +40,31 @@ import (
 	"sort"
 )
 
+// Severity ranks a finding for CI gating: errors fail the build,
+// warnings are surfaced but advisory.
+type Severity int
+
+// The two severity levels. The zero value is SevError so an analyzer
+// that never sets a severity gates at full strength.
+const (
+	SevError Severity = iota
+	SevWarning
+)
+
+// String renders the severity in the SARIF level vocabulary.
+func (s Severity) String() string {
+	if s == SevWarning {
+		return "warning"
+	}
+	return "error"
+}
+
 // Finding is one diagnostic produced by an analyzer.
 type Finding struct {
 	// Analyzer is the name of the analyzer that produced the finding.
 	Analyzer string
+	// Severity is the producing analyzer's severity.
+	Severity Severity
 	// Pos locates the offending source construct.
 	Pos token.Position
 	// Message describes the violation and, where possible, the fix.
@@ -52,6 +86,11 @@ type Pass struct {
 	Pkg *types.Package
 	// Info holds the type-checker's expression, definition, and use maps.
 	Info *types.Info
+	// Facts is the cross-package fact base shared by every pass of one
+	// Run: the symbol table, the approximate call graph, and derived
+	// interprocedural facts. Nil only when a test runs an analyzer
+	// without Run (the fixture harness always goes through Run).
+	Facts *Facts
 
 	analyzer *Analyzer
 	findings *[]Finding
@@ -61,6 +100,7 @@ type Pass struct {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.findings = append(*p.findings, Finding{
 		Analyzer: p.analyzer.Name,
+		Severity: p.analyzer.Severity,
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -79,24 +119,34 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	return p.Info.Defs[id]
 }
 
-// Analyzer is one named check over a single package.
+// Analyzer is one named check over a single package. Analyzers that
+// need cross-package facts read them from Pass.Facts; the framework
+// builds the fact base once per Run, before any analyzer executes.
 type Analyzer struct {
 	// Name identifies the analyzer in findings and on the command line.
 	Name string
 	// Doc is a one-paragraph description of what the analyzer enforces.
 	Doc string
+	// Severity classifies every finding the analyzer reports; the zero
+	// value is SevError.
+	Severity Severity
 	// Run inspects the pass's package and reports findings via the pass.
 	Run func(*Pass) error
 }
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, UnitSafety, Layering, ErrDrop, ExportDoc, Hotalloc}
+	return []*Analyzer{Determinism, UnitSafety, UnitTaint, Layering, ErrDrop, ExportDoc, Hotalloc, ParCapture, ArenaEscape}
 }
 
 // Run applies each analyzer to each package and returns the combined
-// findings sorted by position. An analyzer error aborts the run.
+// findings sorted by position. Before the first analyzer executes it
+// builds the shared fact base (symbol table + call graph) over the
+// whole package set, so interprocedural analyzers see call sites in
+// every loaded package, not just the one their pass covers. An
+// analyzer error aborts the run.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	facts := BuildFacts(pkgs)
 	var findings []Finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -105,6 +155,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Facts:    facts,
 				analyzer: a,
 				findings: &findings,
 			}

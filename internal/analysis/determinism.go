@@ -14,7 +14,10 @@ const rngPath = "lightpath/internal/rng"
 // Determinism enforces that every run of the simulator is bit-for-bit
 // reproducible from its seed. It forbids wall-clock reads (time.Now,
 // time.Since, time.Until) and math/rand imports outside
-// internal/rng, and flags range-over-map loops whose bodies feed
+// internal/rng, forbids process-environment reads (os.Getenv,
+// os.LookupEnv, os.Environ, os.ExpandEnv) inside internal/ packages —
+// simulation behavior must flow from explicit options and seeds, never
+// ambient machine state — and flags range-over-map loops whose bodies feed
 // order-sensitive sinks: formatted output, appends that are never
 // sorted, non-associative accumulation (float or string), channel
 // sends, and returns of iteration-dependent values. Map ranges that
@@ -34,10 +37,23 @@ var forbiddenTimeFuncs = map[string]bool{
 	"time.Until": true,
 }
 
+// forbiddenEnvFuncs are the os package entry points that read the
+// process environment — ambient, machine-dependent state that must
+// never steer a simulation. The ban covers internal/ packages only:
+// command-line front ends may translate environment into explicit
+// options, which is exactly where such a read belongs.
+var forbiddenEnvFuncs = map[string]bool{
+	"os.Getenv":    true,
+	"os.LookupEnv": true,
+	"os.Environ":   true,
+	"os.ExpandEnv": true,
+}
+
 func runDeterminism(pass *Pass) error {
 	if pass.Pkg.Path() == rngPath {
 		return nil
 	}
+	isInternal := strings.HasPrefix(pass.Pkg.Path(), internalPrefix)
 	for _, file := range pass.Files {
 		for _, imp := range file.Imports {
 			path := strings.Trim(imp.Path.Value, `"`)
@@ -48,8 +64,13 @@ func runDeterminism(pass *Pass) error {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
-				if fn := calleeFunc(pass, n); fn != nil && forbiddenTimeFuncs[fn.FullName()] {
-					pass.Reportf(n.Pos(), "%s reads the wall clock and breaks reproducibility; thread simulated unit.Seconds instead", fn.FullName())
+				if fn := calleeFunc(pass, n); fn != nil {
+					if forbiddenTimeFuncs[fn.FullName()] {
+						pass.Reportf(n.Pos(), "%s reads the wall clock and breaks reproducibility; thread simulated unit.Seconds instead", fn.FullName())
+					}
+					if isInternal && forbiddenEnvFuncs[fn.FullName()] {
+						pass.Reportf(n.Pos(), "%s reads the process environment inside an internal package; thread configuration through explicit options and seeds instead", fn.FullName())
+					}
 				}
 			case *ast.FuncDecl:
 				if n.Body != nil {
@@ -245,17 +266,8 @@ func exprUsesAny(pass *Pass, e ast.Expr, objs map[types.Object]bool) bool {
 }
 
 // calleeFunc resolves the *types.Func a call invokes, or nil for
-// builtins, conversions, and indirect calls through variables.
+// builtins, conversions, and indirect calls through variables. It is
+// the per-pass face of the fact base's resolver.
 func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	default:
-		return nil
-	}
-	fn, _ := pass.ObjectOf(id).(*types.Func)
-	return fn
+	return calleeOf(pass.Info, call)
 }

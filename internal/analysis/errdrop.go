@@ -2,21 +2,27 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
 
 // ErrDrop flags calls whose error result is silently discarded: bare
 // call statements, deferred calls, and goroutine launches returning an
-// error nobody can see. Explicitly assigning to the blank identifier
-// (`_ = f()`) stays legal — it is a visible, greppable statement of
-// intent. A small allowlist covers writers that cannot usefully fail:
-// the fmt print family (stdout/stderr and report builders; exporters
-// that write files check errors via csv.Writer.Error) and the
-// never-failing strings.Builder / bytes.Buffer methods.
+// error nobody can see. Drops are chased into closure bodies — a call
+// statement inside `defer func() { ... }()` or `go func() { ... }()`
+// executes in that deferred/asynchronous context and is reported as
+// such, where a dropped error is strictly worse than in straight-line
+// code (no caller is left to notice the failure). Explicitly assigning
+// to the blank identifier (`_ = f()`) stays legal — it is a visible,
+// greppable statement of intent. A small allowlist covers writers that
+// cannot usefully fail: the fmt print family (stdout/stderr and report
+// builders; exporters that write files check errors via
+// csv.Writer.Error) and the never-failing strings.Builder /
+// bytes.Buffer methods.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
-	Doc:  "flag call statements, defers, and goroutines that discard an error result",
+	Doc:  "flag call statements, defers, and goroutines — including closure bodies — that discard an error result",
 	Run:  runErrDrop,
 }
 
@@ -31,11 +37,42 @@ var errDropAllowedPrefixes = []string{
 
 func runErrDrop(pass *Pass) error {
 	for _, file := range pass.Files {
+		// closureKind maps the body of every function literal that is
+		// directly deferred or launched to the execution context its
+		// statements run in. A call statement inside such a body is a
+		// "deferred call" / "goroutine" drop, not a plain "call" — the
+		// distinction matters because those contexts have no caller
+		// left to observe the failure. Nested literals resolve to the
+		// innermost enclosing context at report time.
+		closureKind := map[*ast.BlockStmt]string{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					closureKind[lit.Body] = "deferred call"
+				}
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					closureKind[lit.Body] = "goroutine"
+				}
+			}
+			return true
+		})
+		kindAt := func(pos token.Pos) string {
+			kind := "call"
+			innermost := token.Pos(-1)
+			for body, k := range closureKind {
+				if body.Pos() <= pos && pos < body.End() && body.Pos() > innermost {
+					innermost, kind = body.Pos(), k
+				}
+			}
+			return kind
+		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.ExprStmt:
 				if call, ok := n.X.(*ast.CallExpr); ok {
-					checkDroppedError(pass, call, "call")
+					checkDroppedError(pass, call, kindAt(n.Pos()))
 				}
 			case *ast.DeferStmt:
 				checkDroppedError(pass, n.Call, "deferred call")

@@ -53,6 +53,28 @@ func TestHotallocFixture(t *testing.T) {
 	runFixtureTest(t, Hotalloc, "hotalloc", "fixture/hotalloc")
 }
 
+func TestDeterminismEnvFixture(t *testing.T) {
+	runFixtureTest(t, Determinism, "determinism_env", "lightpath/internal/envfixture")
+}
+
+// TestParCaptureFixture proves the analyzer catches the PR 3 bug
+// class: mutable state captured and written by engine.Map/Stream trial
+// closures (the fixture's Sum reconstructs the historical defect).
+func TestParCaptureFixture(t *testing.T) {
+	runFixtureTest(t, ParCapture, "parcapture", "fixture/parcapture")
+}
+
+// TestArenaEscapeFixture proves the analyzer catches the PR 5 hazard
+// class: pooled scratch aliases outliving their borrow (the fixture's
+// LeakRates reconstructs the historical defect shape).
+func TestArenaEscapeFixture(t *testing.T) {
+	runFixtureTest(t, ArenaEscape, "arenaescape", "fixture/arenaescape")
+}
+
+func TestUnitTaintFixture(t *testing.T) {
+	runFixtureTest(t, UnitTaint, "unittaint", "fixture/unittaint")
+}
+
 // wantRe matches one `// want `regexp“ expectation comment.
 var wantRe = regexp.MustCompile("// want `([^`]*)`")
 

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestSuiteSelfCheck runs the complete analyzer suite over the
+// repository's own source from inside `go test`, filtered through the
+// committed baseline — the ISSUE'd "repo analyzes itself" gate, one
+// level below the lightpath-vet CLI so it cannot be skipped by build
+// tooling that never invokes the binary. Unlike the CLI gate, this
+// test fails on unbaselined findings of ANY severity, warnings
+// included: the repository's own source is held to the strictest
+// standard, while downstream CI gating distinguishes errors from
+// warnings.
+func TestSuiteSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo analysis is slow; skipped with -short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("LoadPatterns(./...) found no packages")
+	}
+	findings, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := LoadBaseline(filepath.Join(root, "vet_baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, suppressed := baseline.Filter(root, findings)
+	for _, f := range fresh {
+		t.Errorf("unbaselined finding: %s", f)
+	}
+	// Every baseline entry should still match a real finding; stale
+	// entries mean the debt was paid and the baseline should shrink.
+	if len(suppressed) < len(baseline.Findings) {
+		t.Errorf("baseline has %d entries but only %d findings matched; regenerate with `make vet-baseline`",
+			len(baseline.Findings), len(suppressed))
+	}
+	t.Logf("self-check: %d package(s), %d finding(s) suppressed by baseline", len(pkgs), len(suppressed))
+}

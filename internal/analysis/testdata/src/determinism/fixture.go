@@ -6,6 +6,7 @@ package fixture
 import (
 	"fmt"
 	"math/rand" // want `import of math/rand is forbidden outside lightpath/internal/rng`
+	"os"
 	"sort"
 	"time"
 )
@@ -100,4 +101,12 @@ func Invert(m map[string]int) map[int]string {
 		out[v] = k
 	}
 	return out
+}
+
+// EnvOutsideInternal reads the process environment from a package
+// outside internal/: the env ban binds only internal packages (a CLI
+// front end may translate environment into explicit options), so this
+// passes.
+func EnvOutsideInternal() string {
+	return os.Getenv("LIGHTPATH_SEED")
 }

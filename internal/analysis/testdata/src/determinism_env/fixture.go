@@ -1,0 +1,34 @@
+// Package envfixture exercises the determinism analyzer's
+// process-environment ban, which binds packages under
+// lightpath/internal/ (this fixture loads under that prefix):
+// simulation behavior must flow from explicit options and seeds, never
+// ambient machine state.
+package envfixture
+
+import "os"
+
+// Home reads a single environment variable.
+func Home() string {
+	return os.Getenv("HOME") // want `os.Getenv reads the process environment inside an internal package`
+}
+
+// Lookup reads through the two-result form.
+func Lookup() bool {
+	_, ok := os.LookupEnv("LIGHTPATH_DEBUG") // want `os.LookupEnv reads the process environment inside an internal package`
+	return ok
+}
+
+// All snapshots the whole environment.
+func All() []string {
+	return os.Environ() // want `os.Environ reads the process environment inside an internal package`
+}
+
+// Expand interpolates environment values into a template.
+func Expand(s string) string {
+	return os.ExpandEnv(s) // want `os.ExpandEnv reads the process environment inside an internal package`
+}
+
+// Hostname uses os for something other than the environment: allowed.
+func Hostname() (string, error) {
+	return os.Hostname()
+}

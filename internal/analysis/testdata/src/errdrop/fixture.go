@@ -22,6 +22,37 @@ func Drop() {
 	go Pair()       // want `goroutine discards the error`
 }
 
+// DropInDeferClosure discards an error inside a deferred closure: the
+// drop executes at defer time, with no caller left to observe it.
+func DropInDeferClosure() {
+	defer func() {
+		MayFail() // want `deferred call discards the error returned by fixture/errdrop.MayFail`
+	}()
+}
+
+// DropInGoClosure discards errors inside goroutine bodies, including a
+// defer nested within the goroutine (the innermost context wins).
+func DropInGoClosure() {
+	go func() {
+		MayFail() // want `goroutine discards the error returned by fixture/errdrop.MayFail`
+		defer func() {
+			MayFail() // want `deferred call discards the error returned by fixture/errdrop.MayFail`
+		}()
+	}()
+}
+
+// HandleInClosure deals with the error inside the closure: allowed.
+func HandleInClosure() {
+	defer func() {
+		if err := MayFail(); err != nil {
+			fmt.Println(err)
+		}
+	}()
+	go func() {
+		_ = MayFail()
+	}()
+}
+
 // Handle deals with every error visibly: allowed.
 func Handle() {
 	if err := MayFail(); err != nil {

@@ -1,0 +1,63 @@
+// Package fixture exercises the unittaint analyzer: unit newtypes
+// laundered into float64 parameters through bare casts are tracked
+// across call sites, so cross-unit arithmetic that spans a call — and
+// parameters fed conflicting dimensions — is caught even though no
+// single expression mixes two casts. Consistent laundering combined
+// only with dimensionless math must pass.
+package fixture
+
+import "lightpath/internal/unit"
+
+// attenuation is fed a laundered unit.Decibel by every caller; adding
+// a laundered unit.DBm to it inside the body is the cross-unit bug the
+// intra-file unitsafety check cannot see.
+func attenuation(loss float64, floor unit.DBm) float64 {
+	return loss + float64(floor) // want `cross-unit arithmetic through a call site: parameter loss \(laundered unit.Decibel at every call site\) \+ float64\(unit.DBm\) mixes unit.Decibel and unit.DBm`
+}
+
+// Budget launders a Decibel into attenuation's float64 parameter.
+func Budget(d unit.Decibel, floor unit.DBm) float64 {
+	return attenuation(float64(d), floor)
+}
+
+// Budget2 is a second call site agreeing on the dimension, so the
+// parameter's laundering set stays a singleton.
+func Budget2(d unit.Decibel, floor unit.DBm) float64 {
+	return attenuation(float64(d), floor)
+}
+
+// confused receives a laundered unit.Seconds from one call site and a
+// laundered unit.Bytes from another: the parameter has no consistent
+// dimension at all.
+func confused(x float64) float64 { // want `parameter "x" of confused receives float64-laundered unit.Bytes and unit.Seconds at different call sites`
+	return x * 2
+}
+
+// CallWithSeconds and CallWithBytes are the disagreeing call sites.
+func CallWithSeconds(s unit.Seconds) float64 { return confused(float64(s)) }
+
+// CallWithBytes launders a different dimension into the same slot.
+func CallWithBytes(b unit.Bytes) float64 { return confused(float64(b)) }
+
+// crossParams combines two parameters whose call sites launder
+// different units into them.
+func crossParams(dur, size float64) float64 {
+	return dur + size // want `cross-unit arithmetic through a call site: parameter dur \(laundered unit.Seconds at every call site\) \+ parameter size \(laundered unit.Bytes at every call site\) mixes unit.Seconds and unit.Bytes`
+}
+
+// Mixed is crossParams's only call site.
+func Mixed(s unit.Seconds, b unit.Bytes) float64 {
+	return crossParams(float64(s), float64(b))
+}
+
+// scaled is the clean case: a consistently-laundered parameter doing
+// dimensionless scaling and ratios (MUL/QUO legitimately combine
+// dimensions, exactly as in unitsafety).
+func scaled(power float64, gain float64) float64 {
+	return power * gain
+}
+
+// Scale feeds scaled consistently from its one call site.
+func Scale(p unit.DBm) float64 {
+	return scaled(float64(p), 3.0)
+}

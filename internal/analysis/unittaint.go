@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// UnitTaint is the interprocedural extension of unitsafety. The
+// intra-file analyzer catches `float64(a) + float64(b)` mixing two
+// unit newtypes in one expression — but the same bug split across a
+// call site is invisible to it: a helper takes a bare float64, one
+// caller launders a unit.Decibel into it, and the helper's body adds
+// it to a float64(unit.DBm) cast. UnitTaint closes that hole with two
+// checks over the shared fact base's call graph:
+//
+//   - conflicting laundering: a float64 parameter that different call
+//     sites feed with float64 casts of *different* unit newtypes has
+//     no consistent dimension; the parameter should carry the unit
+//     type and force explicit conversion. Reported at the parameter.
+//   - cross-unit arithmetic through a call: inside a function, a
+//     float64 parameter whose call sites all launder one unit type U
+//     must not combine arithmetically with a float64(V) cast of a
+//     different unit, or with another parameter laundered as W ≠ U.
+//     Reported at the offending expression.
+//
+// The call graph resolves only direct calls, so both checks are
+// conservative: an unresolved call site can only silence them.
+var UnitTaint = &Analyzer{
+	Name: "unittaint",
+	Doc:  "track unit newtypes laundered into float64 parameters across call sites and flag cross-unit arithmetic the intra-file check cannot see",
+	Run:  runUnitTaint,
+}
+
+func runUnitTaint(pass *Pass) error {
+	if pass.Facts == nil {
+		return nil // no fact base: a bare single-analyzer harness
+	}
+	if pass.Pkg.Path() == unitPath {
+		return nil // conversions between units are the unit package's job
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sets := pass.Facts.ParamUnits(fn)
+			if sets == nil {
+				continue
+			}
+			params := paramIdents(fd)
+			checkConflictingLaunder(pass, fn, params, sets)
+			checkLaunderedArith(pass, fd, params, sets)
+		}
+	}
+	return nil
+}
+
+// paramIdents flattens a declaration's parameter names in signature
+// order, so index i matches types.Signature.Params().At(i).
+func paramIdents(fd *ast.FuncDecl) []*ast.Ident {
+	var ids []*ast.Ident
+	if fd.Type.Params == nil {
+		return ids
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			ids = append(ids, name)
+		}
+	}
+	return ids
+}
+
+// checkConflictingLaunder reports parameters whose call sites launder
+// two or more distinct unit types into the same float64 slot.
+func checkConflictingLaunder(pass *Pass, fn *types.Func, params []*ast.Ident, sets []map[*types.Named]bool) {
+	for i, set := range sets {
+		if len(set) < 2 || i >= len(params) {
+			continue
+		}
+		pass.Reportf(params[i].Pos(), "parameter %q of %s receives float64-laundered %s at different call sites; give it a unit type so conversions are explicit", params[i].Name, fn.Name(), unitSetString(set))
+	}
+}
+
+// checkLaunderedArith walks the function body for arithmetic that
+// combines a laundered parameter with a different unit's cast or with
+// a differently-laundered parameter.
+func checkLaunderedArith(pass *Pass, fd *ast.FuncDecl, params []*ast.Ident, sets []map[*types.Named]bool) {
+	// paramUnit maps each parameter object to its single laundered
+	// unit; conflicted parameters (≥2 units) are already reported by
+	// the other check and excluded here to avoid double findings.
+	paramUnit := map[types.Object]*types.Named{}
+	for i, set := range sets {
+		if len(set) != 1 || i >= len(params) {
+			continue
+		}
+		obj := pass.ObjectOf(params[i])
+		if obj == nil {
+			continue
+		}
+		for u := range set {
+			paramUnit[obj] = u
+		}
+	}
+	if len(paramUnit) == 0 {
+		return
+	}
+	// operandUnit resolves one side of a binary expression to a unit
+	// type: a direct use of a laundered parameter, or an explicit
+	// float64(unitX) cast.
+	operandUnit := func(e ast.Expr) (*types.Named, string) {
+		e = ast.Unparen(e)
+		if id, ok := e.(*ast.Ident); ok {
+			if u := paramUnit[pass.ObjectOf(id)]; u != nil {
+				return u, "parameter " + id.Name + " (laundered " + typeShort(u) + " at every call site)"
+			}
+			return nil, ""
+		}
+		if u := launderedUnit(pass.Info, e); u != nil {
+			return u, "float64(" + typeShort(u) + ")"
+		}
+		return nil, ""
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.ADD, token.SUB,
+			token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+			// Additive combination and comparison require matching
+			// dimensions. MUL/QUO legitimately combine different units
+			// (rate × time), so they stay exempt — as in unitsafety.
+		default:
+			return true
+		}
+		lu, ldesc := operandUnit(be.X)
+		ru, rdesc := operandUnit(be.Y)
+		if lu == nil || ru == nil || lu == ru {
+			return true
+		}
+		pass.Reportf(be.Pos(), "cross-unit arithmetic through a call site: %s %s %s mixes %s and %s; take unit-typed parameters and convert explicitly", ldesc, be.Op, rdesc, typeShort(lu), typeShort(ru))
+		return true
+	})
+}
+
+// unitSetString renders a laundering set deterministically.
+func unitSetString(set map[*types.Named]bool) string {
+	names := make([]string, 0, len(set))
+	for u := range set {
+		names = append(names, typeShort(u))
+	}
+	sort.Strings(names)
+	return strings.Join(names, " and ")
+}

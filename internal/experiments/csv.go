@@ -43,7 +43,12 @@ func WriteCSV(path string, t Tabular) (err error) {
 	return w.Error()
 }
 
-func f64(v float64) string { return fmt.Sprintf("%g", v) }
+// f64 renders any float-backed value — bare float64 or an
+// internal/unit newtype — with %g. Taking a ~float64 type parameter
+// instead of float64 means unit-typed values cross the serialization
+// boundary without a laundering float64(...) cast, so the unittaint
+// analyzer can tell this formatter apart from dimensioned arithmetic.
+func f64[T ~float64](v T) string { return fmt.Sprintf("%g", float64(v)) }
 
 // CSV implements Tabular: (time_us, amplitude) of the step response.
 func (r Fig3aResult) CSV() ([]string, [][]string) {
@@ -71,7 +76,7 @@ func (r Fig5Result) CSV() ([]string, [][]string) {
 			row.Slice, row.Shape,
 			f64(row.Electrical), f64(row.Optical),
 			row.Algorithm,
-			f64(float64(row.ElectricalTime)), f64(float64(row.OpticalTime)),
+			f64(row.ElectricalTime), f64(row.OpticalTime),
 			f64(row.Speedup),
 		})
 	}
@@ -84,8 +89,8 @@ func (r SweepResult) CSV() ([]string, [][]string) {
 	rows := make([][]string, 0, len(r.Points))
 	for _, p := range r.Points {
 		rows = append(rows, []string{
-			f64(float64(p.Buffer)),
-			f64(float64(p.ElectricalTime)), f64(float64(p.OpticalTime)),
+			f64(p.Buffer),
+			f64(p.ElectricalTime), f64(p.OpticalTime),
 			f64(p.Speedup),
 		})
 	}
@@ -97,8 +102,8 @@ func (r AllToAllResult) CSV() ([]string, [][]string) {
 	rows := make([][]string, 0, len(r.Points))
 	for _, p := range r.Points {
 		rows = append(rows, []string{
-			f64(float64(p.Buffer)),
-			f64(float64(p.ElectricalTime)), f64(float64(p.OpticalTime)),
+			f64(p.Buffer),
+			f64(p.ElectricalTime), f64(p.OpticalTime),
 			f64(p.Speedup),
 		})
 	}
@@ -109,7 +114,7 @@ func (r AllToAllResult) CSV() ([]string, [][]string) {
 func (r WaterfallResult) CSV() ([]string, [][]string) {
 	rows := make([][]string, 0, len(r.Points))
 	for _, p := range r.Points {
-		rows = append(rows, []string{f64(float64(p.Rx)), f64(p.BER)})
+		rows = append(rows, []string{f64(p.Rx), f64(p.BER)})
 	}
 	return []string{"rx_dbm", "ber"}, rows
 }
@@ -128,10 +133,10 @@ func (r SchedulerResult) CSV() ([]string, [][]string) {
 	rows := make([][]string, 0, len(r.Rows))
 	for _, row := range r.Rows {
 		rows = append(rows, []string{
-			row.Workload, f64(float64(row.Bytes)),
-			f64(float64(row.Eager)), f64(float64(row.Static)),
-			f64(float64(row.Hysteresis)), f64(float64(row.Caching)),
-			f64(float64(row.Optimal)),
+			row.Workload, f64(row.Bytes),
+			f64(row.Eager), f64(row.Static),
+			f64(row.Hysteresis), f64(row.Caching),
+			f64(row.Optimal),
 		})
 	}
 	return []string{"workload", "bytes", "eager_s", "static_s",
