@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet vet-baseline vet-sarif check chaos-smoke soak-smoke bench bench-smoke bench-compare
+.PHONY: all build test race lint fmt vet vet-baseline vet-sarif check chaos-smoke soak-smoke soak-resume-smoke bench bench-smoke bench-compare
 
 all: check
 
@@ -72,6 +72,24 @@ soak-smoke:
 	done; rm -rf $$tmp; \
 	if [ $$rc -ne 0 ]; then echo "soak CSV diverged from golden (seed 2024)" >&2; exit 1; fi
 
+## soak-resume-smoke: the crash-recovery gate — run the soak campaign
+## with per-trial checkpoints, kill every trial at a mid-run event
+## boundary, resume from the checkpoints, and diff the resumed CSV
+## byte-for-byte against the same golden the uninterrupted soak-smoke
+## uses. Both parallel modes, under the race detector: a resumed soak
+## must be indistinguishable from one that never crashed.
+soak-resume-smoke:
+	@tmp=$$(mktemp -d); rc=0; \
+	for par in true false; do \
+		ck=$$tmp/ck-$$par; mkdir -p $$ck; \
+		$(GO) run -race ./cmd/lightpath-sim soak -seed 2024 -trials 2 -parallel=$$par \
+			-checkpoint $$ck -ckpt-interval 50 -kill-at 160 >/dev/null && \
+		$(GO) run -race ./cmd/lightpath-sim soak -seed 2024 -trials 2 -parallel=$$par \
+			-checkpoint $$ck -resume -csv $$tmp >/dev/null && \
+		diff -u cmd/lightpath-sim/testdata/soak_golden.csv $$tmp/soak.csv || rc=1; \
+	done; rm -rf $$tmp; \
+	if [ $$rc -ne 0 ]; then echo "resumed soak CSV diverged from golden (seed 2024)" >&2; exit 1; fi
+
 ## bench: run every benchmark once with allocation stats and write the
 ## structured report to BENCH.json (ns/op, allocs/op, and each
 ## benchmark's deterministic paper metric). -benchtime=1x keeps the
@@ -97,4 +115,4 @@ bench-compare:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./internal/... | $(GO) run ./cmd/lightpath-bench -compare BENCH_baseline.json -ns-tol $(NS_TOL) -allocs-tol $(ALLOCS_TOL)
 
 ## check: everything CI runs, in the same order.
-check: build lint race chaos-smoke soak-smoke bench-smoke
+check: build lint race chaos-smoke soak-smoke soak-resume-smoke bench-smoke

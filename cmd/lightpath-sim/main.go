@@ -38,6 +38,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +50,7 @@ import (
 	"lightpath/internal/core"
 	"lightpath/internal/engine"
 	"lightpath/internal/experiments"
+	"lightpath/internal/fleet"
 	"lightpath/internal/viz"
 )
 
@@ -69,6 +71,10 @@ func run(args []string, out printer) error {
 	trials := fs.Int("trials", 8, "trials for the chaos and soak campaigns")
 	csvDir := fs.String("csv", "", "directory to also write each experiment's data series as <command>.csv")
 	parallel := fs.Bool("parallel", true, "fan Monte-Carlo campaigns across CPUs (output is identical either way)")
+	checkpoint := fs.String("checkpoint", "", "directory for per-trial soak checkpoints (enables crash-tolerant soak)")
+	resume := fs.Bool("resume", false, "resume soak trials from their checkpoints instead of starting fresh")
+	ckptInterval := fs.Uint64("ckpt-interval", 0, "soak checkpoint cadence in event boundaries (0 = fleet default)")
+	killAt := fs.Uint64("kill-at", 0, "stop every soak trial at this event boundary after checkpointing (crash-injection test mode)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if len(args) == 0 {
@@ -174,7 +180,23 @@ func run(args []string, out printer) error {
 			return emitCSV(*csvDir, "chaos", r)
 		},
 		"soak": func() error {
-			r, err := experiments.Soak(*seed, *trials)
+			if *checkpoint != "" {
+				if err := os.MkdirAll(*checkpoint, 0o755); err != nil {
+					return fmt.Errorf("soak: checkpoint dir: %w", err)
+				}
+			}
+			r, err := experiments.SoakWithOptions(*seed, *trials, experiments.SoakOptions{
+				CheckpointDir:   *checkpoint,
+				EveryEvents:     *ckptInterval,
+				KillAfterEvents: *killAt,
+				Resume:          *resume,
+			})
+			if errors.Is(err, fleet.ErrStopped) {
+				// Crash-injection mode: trials checkpointed and halted
+				// as requested; a later -resume run completes them.
+				_, werr := fmt.Fprintf(out, "soak: trials stopped at event %d, checkpoints in %s\n", *killAt, *checkpoint)
+				return werr
+			}
 			if err := emit(out, r, err); err != nil {
 				return err
 			}

@@ -25,7 +25,9 @@ var LayerRanks = map[string]int{
 	"engine":      0,
 	"bench":       0,
 	"rng":         0,
+	"snapshot":    0,
 	"unit":        0,
+	"sketch":      10,
 	"torus":       10,
 	"collective":  20,
 	"phy":         20,

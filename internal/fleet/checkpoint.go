@@ -1,0 +1,371 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"lightpath/internal/chaos"
+	"lightpath/internal/snapshot"
+	"lightpath/internal/unit"
+)
+
+// This file is the soak's crash-tolerance layer. A checkpoint is one
+// snapshot-envelope file capturing everything the event loop needs to
+// continue: RNG stream positions, the allocator and hardware state,
+// job/spare/crew/repair-queue state, accumulated statistics and the
+// loop cursors. Checkpoints land only on event boundaries, and the
+// fault schedule is recomputed from the config on resume, so the file
+// stays small and a resumed soak produces an Outcome byte-identical
+// to the uninterrupted run — the property the crash-injection tests
+// sweep over every boundary.
+
+// checkpointVersion is the current checkpoint payload format.
+const checkpointVersion = 1
+
+// ErrStopped is returned by RunCheckpointed when the soak halted at
+// the StopAfterEvents boundary instead of reaching the horizon. The
+// crash-injection harness uses it to kill a soak at a chosen event
+// and later Resume it.
+var ErrStopped = errors.New("fleet: soak stopped at checkpoint boundary")
+
+// ErrConfigMismatch is returned by Resume when the checkpoint was
+// written by a soak with a different configuration — resuming it
+// would silently break determinism instead of continuing the run.
+var ErrConfigMismatch = errors.New("fleet: checkpoint config does not match")
+
+// CheckpointOptions configures periodic snapshotting of a soak.
+type CheckpointOptions struct {
+	// Path is the checkpoint file; the writer keeps the previous good
+	// snapshot beside it (Path + ".prev") for torn-write fallback.
+	// Empty disables checkpointing.
+	Path string
+	// EveryEvents is the checkpoint cadence in event boundaries
+	// (default 1024).
+	EveryEvents uint64
+	// StopAfterEvents, when positive, halts the soak with ErrStopped
+	// once that many event boundaries have been processed, writing a
+	// final checkpoint first if Path is set. It exists for the
+	// crash-injection harness.
+	StopAfterEvents uint64
+}
+
+func (o CheckpointOptions) withDefaults() CheckpointOptions {
+	if o.EveryEvents == 0 {
+		o.EveryEvents = 1024
+	}
+	return o
+}
+
+// RunCheckpointed executes the soak like Run, additionally writing a
+// checkpoint every opts.EveryEvents event boundaries. The write is
+// atomic (temp file, fsync, rename) and rotates the previous good
+// snapshot aside, so a crash mid-write can always fall back.
+func RunCheckpointed(cfg Config, opts CheckpointOptions) (*Outcome, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	s, faults, err := buildSoak(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.place()
+	return s.run(faults, opts)
+}
+
+// Resume continues a soak from the checkpoint at opts.Path, written
+// by an earlier RunCheckpointed with the same Config. A corrupted or
+// torn primary snapshot falls back to the previous good one; because
+// the soak is deterministic, resuming from an older boundary replays
+// to the identical Outcome. Checkpointing continues under the same
+// options.
+func Resume(cfg Config, opts CheckpointOptions) (*Outcome, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if opts.Path == "" {
+		return nil, errors.New("fleet: resume needs a checkpoint path")
+	}
+	version, payload, _, err := snapshot.Load(opts.Path)
+	if err != nil {
+		return nil, err
+	}
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("%w: checkpoint format v%d, this build reads v%d",
+			snapshot.ErrCorruptSnapshot, version, checkpointVersion)
+	}
+	s, faults, err := buildSoak(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.restoreState(snapshot.NewDecoder(payload), len(faults)); err != nil {
+		return nil, err
+	}
+	return s.run(faults, opts)
+}
+
+// maybeCheckpoint writes a snapshot when the current event boundary
+// is on the cadence, or when the soak is about to stop there.
+func (s *soak) maybeCheckpoint(opts CheckpointOptions) error {
+	if opts.Path == "" {
+		return nil
+	}
+	due := s.events%opts.EveryEvents == 0
+	stopping := opts.StopAfterEvents > 0 && s.events >= opts.StopAfterEvents
+	if !due && !stopping {
+		return nil
+	}
+	return snapshot.Write(opts.Path, checkpointVersion, s.encodeState())
+}
+
+// configDigest encodes every Config field that shapes the event
+// stream. Resume compares digests byte-for-byte: a checkpoint is only
+// continuable under the exact configuration that produced it.
+func (s *soak) configDigest() []byte {
+	var e snapshot.Encoder
+	c := s.cfg
+	e.U64(c.Seed)
+	e.Int(c.Wafers)
+	e.Int(c.Wafer.Rows)
+	e.Int(c.Wafer.Cols)
+	snapshot.Unit(&e, c.Horizon)
+	snapshot.Unit(&e, c.SampleEvery)
+	for _, m := range c.Rates.MTBF {
+		snapshot.Unit(&e, m)
+	}
+	for _, m := range c.MeanRepair {
+		snapshot.Unit(&e, m)
+	}
+	e.Int(c.Crews)
+	e.Int(c.Spares)
+	e.Int(c.Jobs)
+	e.Int(c.Width)
+	e.Int(int(c.Audit))
+	e.Int(int(c.SampleMode))
+	e.Int(c.ReservoirCap)
+	return e.Bytes()
+}
+
+// encodeState serializes the full soak state at an event boundary.
+func (s *soak) encodeState() []byte {
+	var e snapshot.Encoder
+	e.String(string(s.configDigest()))
+	e.U64(s.events)
+	e.Int(s.fi)
+	snapshot.Unit(&e, s.nextSample)
+	for _, w := range s.mttr.State() {
+		e.U64(w)
+	}
+	s.alloc.EncodeState(&e)
+	s.aud.EncodeState(&e)
+
+	e.Len(len(s.jobs))
+	for _, j := range s.jobs {
+		e.Int(j.a)
+		e.Int(j.b)
+		e.Int(j.want)
+		e.Int(int(j.state))
+		cid := -1
+		if j.circuit != nil {
+			cid = j.circuit.ID
+		}
+		e.Int(cid)
+	}
+	e.Len(len(s.spares))
+	for _, chip := range s.spares {
+		e.Int(chip)
+	}
+	e.Len(len(s.pending))
+	for _, f := range s.pending {
+		encodeFault(&e, f)
+	}
+	e.Int(s.busy)
+	// The repair heap travels in its array layout, so the restored
+	// heap pops in exactly the original order.
+	e.Len(len(s.repairs))
+	for _, ev := range s.repairs {
+		snapshot.Unit(&e, ev.at)
+		e.Int(ev.seq)
+		encodeFault(&e, ev.fault)
+	}
+	e.Int(s.seq)
+
+	e.Int(s.out.Faults)
+	e.Int(s.out.Repairs)
+	e.Int(s.out.ShedEvents)
+	e.Int(s.out.Readmissions)
+	e.Int(s.out.Reroutes)
+	e.Int(s.out.Splices)
+	e.Int(s.out.MinSpares)
+	e.Int(s.out.SamplesSeen)
+	e.Int(s.blastSum)
+	e.F64(s.liveSum)
+	e.F64(s.goodSum)
+	e.Len(len(s.out.Samples))
+	for _, row := range s.out.Samples {
+		encodeSample(&e, row)
+	}
+	s.res.EncodeState(&e, encodeSample)
+	s.quant.EncodeState(&e)
+	return e.Bytes()
+}
+
+// restoreState replays a checkpoint payload into a freshly built soak
+// skeleton. numFaults bounds the schedule cursor.
+func (s *soak) restoreState(d *snapshot.Decoder, numFaults int) error {
+	if digest := d.String(); d.Err() == nil && digest != string(s.configDigest()) {
+		return ErrConfigMismatch
+	}
+	s.events = d.U64()
+	s.fi = d.Int()
+	s.nextSample = snapshot.DecodeUnit[unit.Seconds](d)
+	var st [4]uint64
+	for i := range st {
+		st[i] = d.U64()
+	}
+	s.mttr.SetState(st)
+	if err := s.alloc.RestoreState(d); err != nil {
+		return err
+	}
+	if err := s.aud.RestoreState(d); err != nil {
+		return err
+	}
+	if d.Err() == nil && (s.fi < 0 || s.fi > numFaults) {
+		return fmt.Errorf("%w: fault cursor %d outside schedule of %d",
+			snapshot.ErrCorruptSnapshot, s.fi, numFaults)
+	}
+
+	if n := d.Len(); d.Err() == nil && n != s.cfg.Jobs {
+		return fmt.Errorf("%w: checkpoint has %d jobs, config says %d",
+			snapshot.ErrCorruptSnapshot, n, s.cfg.Jobs)
+	}
+	for i := 0; i < s.cfg.Jobs && d.Err() == nil; i++ {
+		j := &job{a: d.Int(), b: d.Int(), want: d.Int()}
+		st := d.Int()
+		if st < int(jobUp) || st > int(jobShed) {
+			return fmt.Errorf("%w: job %d in unknown state %d", snapshot.ErrCorruptSnapshot, i, st)
+		}
+		j.state = jobState(st)
+		if cid := d.Int(); cid >= 0 {
+			c, ok := s.alloc.CircuitByID(cid)
+			if !ok {
+				return fmt.Errorf("%w: job %d references unknown circuit %d",
+					snapshot.ErrCorruptSnapshot, i, cid)
+			}
+			if _, dup := s.jobOf[cid]; dup {
+				return fmt.Errorf("%w: circuit %d owned by two jobs", snapshot.ErrCorruptSnapshot, cid)
+			}
+			// Re-link to the allocator's own object: Release compares
+			// pointers, so a decoded copy would leak the circuit.
+			j.circuit = c
+			s.jobOf[cid] = j
+		}
+		s.jobs = append(s.jobs, j)
+	}
+	n := d.Len()
+	for i := 0; i < n; i++ {
+		s.spares = append(s.spares, d.Int())
+	}
+	n = d.Len()
+	for i := 0; i < n; i++ {
+		s.pending = append(s.pending, decodeFault(d))
+	}
+	s.busy = d.Int()
+	n = d.Len()
+	for i := 0; i < n; i++ {
+		s.repairs = append(s.repairs, repairEvent{
+			at:    snapshot.DecodeUnit[unit.Seconds](d),
+			seq:   d.Int(),
+			fault: decodeFault(d),
+		})
+	}
+	if d.Err() == nil && s.busy != len(s.repairs) {
+		return fmt.Errorf("%w: %d busy crews but %d in-flight repairs",
+			snapshot.ErrCorruptSnapshot, s.busy, len(s.repairs))
+	}
+	s.seq = d.Int()
+
+	s.out.Faults = d.Int()
+	s.out.Repairs = d.Int()
+	s.out.ShedEvents = d.Int()
+	s.out.Readmissions = d.Int()
+	s.out.Reroutes = d.Int()
+	s.out.Splices = d.Int()
+	s.out.MinSpares = d.Int()
+	s.out.SamplesSeen = d.Int()
+	s.blastSum = d.Int()
+	s.liveSum = d.F64()
+	s.goodSum = d.F64()
+	n = d.Len()
+	for i := 0; i < n; i++ {
+		s.out.Samples = append(s.out.Samples, decodeSample(d))
+	}
+	if err := s.res.RestoreState(d, decodeSample); err != nil {
+		return err
+	}
+	if err := s.quant.RestoreState(d); err != nil {
+		return err
+	}
+	return d.Finish()
+}
+
+func encodeFault(e *snapshot.Encoder, f chaos.Fault) {
+	snapshot.Unit(e, f.Time)
+	e.Int(int(f.Class))
+	e.Int(f.Chip)
+	e.Int(f.Switch)
+	e.Int(f.Wafer)
+	e.Bool(f.Horizontal)
+	e.Int(f.Lane)
+	e.Int(f.Pos)
+	e.F64(f.ExtraLossDB)
+	e.Int(f.Trunk)
+	e.Int(f.Row)
+}
+
+func decodeFault(d *snapshot.Decoder) chaos.Fault {
+	return chaos.Fault{
+		Time:        snapshot.DecodeUnit[unit.Seconds](d),
+		Class:       chaos.Class(d.Int()),
+		Chip:        d.Int(),
+		Switch:      d.Int(),
+		Wafer:       d.Int(),
+		Horizontal:  d.Bool(),
+		Lane:        d.Int(),
+		Pos:         d.Int(),
+		ExtraLossDB: d.F64(),
+		Trunk:       d.Int(),
+		Row:         d.Int(),
+	}
+}
+
+func encodeSample(e *snapshot.Encoder, row Sample) {
+	snapshot.Unit(e, row.T)
+	e.Int(row.Up)
+	e.Int(row.Degraded)
+	e.Int(row.Shed)
+	e.F64(row.Goodput)
+	e.Int(row.Faults)
+	e.Int(row.Repairs)
+	e.F64(row.MeanBlast)
+	e.Int(row.Spares)
+	e.Int(row.Violations)
+}
+
+func decodeSample(d *snapshot.Decoder) Sample {
+	return Sample{
+		T:          snapshot.DecodeUnit[unit.Seconds](d),
+		Up:         d.Int(),
+		Degraded:   d.Int(),
+		Shed:       d.Int(),
+		Goodput:    d.F64(),
+		Faults:     d.Int(),
+		Repairs:    d.Int(),
+		MeanBlast:  d.F64(),
+		Spares:     d.Int(),
+		Violations: d.Int(),
+	}
+}

@@ -20,13 +20,30 @@ package fleet
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 
 	"lightpath/internal/chaos"
 	"lightpath/internal/invariant"
 	"lightpath/internal/rng"
 	"lightpath/internal/route"
+	"lightpath/internal/sketch"
 	"lightpath/internal/unit"
 	"lightpath/internal/wafer"
+)
+
+// SampleMode selects how a soak retains its availability time series.
+type SampleMode int
+
+const (
+	// SampleStreaming, the default, holds a fixed-capacity reservoir
+	// of rows plus a streaming quantile sketch of the goodput column:
+	// memory stays flat no matter how long the horizon. Soaks shorter
+	// than ReservoirCap rows are still retained exactly, so the
+	// default differs from SampleExact only at long horizons.
+	SampleStreaming SampleMode = iota
+	// SampleExact appends every row — O(Horizon/SampleEvery) memory —
+	// for golden time series that must reproduce byte-identically.
+	SampleExact
 )
 
 // Config parameterizes one soak. The zero value of every field takes
@@ -67,6 +84,12 @@ type Config struct {
 	// Audit selects the invariant auditor's mode for the soak
 	// (default Off; the campaign runs Paranoid).
 	Audit invariant.Mode
+	// SampleMode selects streaming (bounded-memory, the default) or
+	// exact retention of the availability time series.
+	SampleMode SampleMode
+	// ReservoirCap bounds the rows retained in streaming mode
+	// (default 512).
+	ReservoirCap int
 }
 
 // DefaultRates returns the soak's fault-arrival defaults: every class
@@ -131,6 +154,9 @@ func (c Config) withDefaults() Config {
 	if c.Width == 0 {
 		c.Width = 4
 	}
+	if c.ReservoirCap == 0 {
+		c.ReservoirCap = 512
+	}
 	return c
 }
 
@@ -146,6 +172,10 @@ func (c Config) validate() error {
 		return fmt.Errorf("fleet: negative spare pool")
 	case c.Jobs < 1 || c.Width < 1:
 		return fmt.Errorf("fleet: need at least one job of width >= 1")
+	case c.SampleMode != SampleStreaming && c.SampleMode != SampleExact:
+		return fmt.Errorf("fleet: unknown sample mode %d", int(c.SampleMode))
+	case c.ReservoirCap < 1:
+		return fmt.Errorf("fleet: reservoir capacity %d < 1", c.ReservoirCap)
 	}
 	chips := c.Wafers * c.Wafer.Tiles()
 	if 2*c.Jobs+c.Spares > chips {
@@ -179,9 +209,18 @@ type Sample struct {
 
 // Outcome aggregates one soak.
 type Outcome struct {
-	// Samples is the availability time series, one row per
-	// SampleEvery.
+	// Samples is the availability time series. In SampleExact mode it
+	// holds one row per SampleEvery; in SampleStreaming mode it holds
+	// a uniform reservoir of at most ReservoirCap rows, sorted by
+	// time. SamplesSeen always counts the full series.
 	Samples []Sample
+	// SamplesSeen is the number of time-series rows the soak
+	// produced, whether or not they were all retained.
+	SamplesSeen int
+	// Events counts the processed event boundaries — repairs, faults
+	// and samples — over the whole soak; checkpoints land on these
+	// boundaries.
+	Events uint64
 	// Faults and Repairs are the totals over the horizon.
 	Faults, Repairs int
 	// ShedEvents counts every time admission control dropped a job;
@@ -196,6 +235,10 @@ type Outcome struct {
 	// Availability is the mean over samples of the live-job fraction
 	// (up or degraded); MeanGoodput averages the goodput column.
 	Availability, MeanGoodput float64
+	// GoodputP05 and GoodputP50 are streaming quantile estimates of
+	// the goodput column — the tail and the median of delivered
+	// bandwidth — computed in both sample modes from the same sketch.
+	GoodputP05, GoodputP50 float64
 	// Violations and Audits report the invariant auditor's findings
 	// and effort over the whole soak.
 	Violations, Audits int
@@ -263,8 +306,81 @@ type soak struct {
 	repairs repairQueue
 	seq     int
 
+	// Event-loop cursors, part of the checkpoint: the index into the
+	// precomputed fault schedule, the next sample time, and the count
+	// of processed event boundaries.
+	fi         int
+	nextSample unit.Seconds
+	events     uint64
+
+	// Streaming aggregates: running sums for the headline means
+	// (accumulated at sample time in chronological order, so both
+	// sample modes produce bit-identical results), a bounded
+	// reservoir of rows, and a quantile sketch of the goodput column.
+	liveSum float64
+	goodSum float64
+	res     *sketch.Reservoir[Sample]
+	quant   *sketch.Quantile
+
 	out      Outcome
 	blastSum int
+}
+
+// buildSoak constructs the soak skeleton — hardware, allocator,
+// auditor, RNG streams, sketches, fault schedule — without tenant
+// placement, which is the part a resume replays from the checkpoint
+// instead. cfg must already have defaults applied and be valid.
+func buildSoak(cfg Config) (*soak, []chaos.Fault, error) {
+	rack, err := wafer.NewRack(cfg.Wafer, cfg.Wafers)
+	if err != nil {
+		return nil, nil, err
+	}
+	root := rng.New(cfg.Seed)
+	s := &soak{
+		cfg:        cfg,
+		rack:       rack,
+		alloc:      route.NewAllocator(rack, root.Split("loss")),
+		mttr:       root.Split("fleet/mttr"),
+		jobOf:      make(map[int]*job),
+		nextSample: cfg.SampleEvery,
+		res:        sketch.NewReservoir[Sample](cfg.ReservoirCap, root.Split("fleet/reservoir")),
+		quant:      sketch.NewQuantile(0, root.Split("fleet/sketch")),
+	}
+	s.aud = invariant.Attach(s.alloc, cfg.Audit)
+
+	// The whole fault schedule is precomputed — arrivals are
+	// independent of everything the soak does, so a resume recomputes
+	// the schedule and only the cursor travels in the checkpoint.
+	cfgW := rack.Config()
+	eng, err := chaos.NewEngine(cfg.Seed, chaos.Components{
+		Chips:           rack.NumChips(),
+		SwitchesPerTile: wafer.SwitchesPerTile,
+		Wafers:          rack.NumWafers(),
+		Rows:            cfgW.Rows,
+		Cols:            cfgW.Cols,
+		Trunks:          rack.NumTrunks(),
+	}, cfg.Rates)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, eng.Schedule(cfg.Horizon), nil
+}
+
+// place runs tenant placement: a seeded permutation of the non-spare
+// chips pairs off into job endpoints; the top Spares chip ids start
+// in the replacement pool.
+func (s *soak) place() {
+	chips := s.rack.NumChips()
+	for chip := chips - s.cfg.Spares; chip < chips; chip++ {
+		s.spares = append(s.spares, chip)
+	}
+	s.out.MinSpares = len(s.spares)
+	perm := rng.New(s.cfg.Seed).Split("fleet/jobs").Perm(chips - s.cfg.Spares)
+	for i := 0; i < s.cfg.Jobs; i++ {
+		j := &job{a: perm[2*i], b: perm[2*i+1], want: s.cfg.Width}
+		s.jobs = append(s.jobs, j)
+		s.establish(j, 0)
+	}
 }
 
 // Run executes the soak and returns its availability time series. The
@@ -273,73 +389,27 @@ type soak struct {
 // invariant.ErrViolated) — a clean soak on corrupted logic must not
 // look like a clean soak on correct logic.
 func Run(cfg Config) (*Outcome, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	rack, err := wafer.NewRack(cfg.Wafer, cfg.Wafers)
-	if err != nil {
-		return nil, err
-	}
-	root := rng.New(cfg.Seed)
-	s := &soak{
-		cfg:   cfg,
-		rack:  rack,
-		alloc: route.NewAllocator(rack, root.Split("loss")),
-		mttr:  root.Split("fleet/mttr"),
-		jobOf: make(map[int]*job),
-	}
-	s.aud = invariant.Attach(s.alloc, cfg.Audit)
+	return RunCheckpointed(cfg, CheckpointOptions{})
+}
 
-	// Tenant placement: a seeded permutation of the non-spare chips
-	// pairs off into job endpoints; the top Spares chip ids start in
-	// the replacement pool.
-	chips := rack.NumChips()
-	for chip := chips - cfg.Spares; chip < chips; chip++ {
-		s.spares = append(s.spares, chip)
-	}
-	s.out.MinSpares = len(s.spares)
-	perm := root.Split("fleet/jobs").Perm(chips - cfg.Spares)
-	for i := 0; i < cfg.Jobs; i++ {
-		j := &job{a: perm[2*i], b: perm[2*i+1], want: cfg.Width}
-		s.jobs = append(s.jobs, j)
-		s.establish(j, 0)
-	}
-
-	// The whole fault schedule is precomputed — arrivals are
-	// independent of everything the soak does.
-	cfgW := rack.Config()
-	eng, err := chaos.NewEngine(cfg.Seed, chaos.Components{
-		Chips:           chips,
-		SwitchesPerTile: wafer.SwitchesPerTile,
-		Wafers:          rack.NumWafers(),
-		Rows:            cfgW.Rows,
-		Cols:            cfgW.Cols,
-		Trunks:          rack.NumTrunks(),
-	}, cfg.Rates)
-	if err != nil {
-		return nil, err
-	}
-	faults := eng.Schedule(cfg.Horizon)
-
-	// Merge the three ordered event streams. Ties are broken by kind
-	// — repairs land before faults, faults before samples — so the
-	// order is total and reproducible.
-	fi := 0
-	nextSample := cfg.SampleEvery
+// run drives the event loop to the horizon (or to an injected stop).
+// It merges the three ordered event streams; ties are broken by kind
+// — repairs land before faults, faults before samples — so the order
+// is total and reproducible.
+func (s *soak) run(faults []chaos.Fault, opts CheckpointOptions) (*Outcome, error) {
 	for {
 		const inf = unit.Seconds(1e18)
 		ft, rt, st := inf, inf, inf
-		if fi < len(faults) {
-			ft = faults[fi].Time
+		if s.fi < len(faults) {
+			ft = faults[s.fi].Time
 		}
 		// Repairs finishing after the horizon are outside the soak:
 		// the clock stops at Horizon, backlog and all.
-		if len(s.repairs) > 0 && s.repairs[0].at <= cfg.Horizon {
+		if len(s.repairs) > 0 && s.repairs[0].at <= s.cfg.Horizon {
 			rt = s.repairs[0].at
 		}
-		if nextSample <= cfg.Horizon {
-			st = nextSample
+		if s.nextSample <= s.cfg.Horizon {
+			st = s.nextSample
 		}
 		switch {
 		case rt == inf && ft == inf && st == inf:
@@ -349,13 +419,20 @@ func Run(cfg Config) (*Outcome, error) {
 			ev := heap.Pop(&s.repairs).(repairEvent)
 			s.completeRepair(ev)
 		case ft <= st:
-			if err := s.applyFault(faults[fi]); err != nil {
+			if err := s.applyFault(faults[s.fi]); err != nil {
 				return nil, err
 			}
-			fi++
+			s.fi++
 		default:
-			s.sample(nextSample)
-			nextSample += cfg.SampleEvery
+			s.sample(s.nextSample)
+			s.nextSample += s.cfg.SampleEvery
+		}
+		s.events++
+		if err := s.maybeCheckpoint(opts); err != nil {
+			return nil, err
+		}
+		if opts.StopAfterEvents > 0 && s.events >= opts.StopAfterEvents {
+			return nil, ErrStopped
 		}
 	}
 }
@@ -593,22 +670,39 @@ func (s *soak) sample(t unit.Seconds) {
 	if s.out.Faults > 0 {
 		row.MeanBlast = float64(s.blastSum) / float64(s.out.Faults)
 	}
-	s.out.Samples = append(s.out.Samples, row)
+	// The headline means accumulate here, in chronological order, so
+	// both sample modes run the identical float additions and agree
+	// bit for bit; the sketch sees every row in both modes too.
+	s.liveSum += float64(row.Up+row.Degraded) / float64(len(s.jobs))
+	s.goodSum += row.Goodput
+	s.quant.Add(row.Goodput)
+	s.out.SamplesSeen++
+	if s.cfg.SampleMode == SampleExact {
+		s.out.Samples = append(s.out.Samples, row)
+	} else {
+		s.res.Add(row)
+	}
 }
 
 // finish folds the time series into the headline aggregates.
 func (s *soak) finish() {
 	s.out.Violations = s.aud.Count()
 	s.out.Audits = s.aud.Audits()
-	if len(s.out.Samples) == 0 {
+	s.out.Events = s.events
+	if s.cfg.SampleMode != SampleExact {
+		s.out.Samples = s.res.Items()
+		// Reservoir eviction scrambles slot order; sample times are
+		// unique, so sorting restores the chronological series.
+		sort.Slice(s.out.Samples, func(i, j int) bool {
+			return s.out.Samples[i].T < s.out.Samples[j].T
+		})
+	}
+	if s.out.SamplesSeen == 0 {
 		return
 	}
-	liveSum, goodSum := 0.0, 0.0
-	for _, row := range s.out.Samples {
-		liveSum += float64(row.Up+row.Degraded) / float64(len(s.jobs))
-		goodSum += row.Goodput
-	}
-	n := float64(len(s.out.Samples))
-	s.out.Availability = liveSum / n
-	s.out.MeanGoodput = goodSum / n
+	n := float64(s.out.SamplesSeen)
+	s.out.Availability = s.liveSum / n
+	s.out.MeanGoodput = s.goodSum / n
+	s.out.GoodputP05 = s.quant.Query(0.05)
+	s.out.GoodputP50 = s.quant.Query(0.50)
 }

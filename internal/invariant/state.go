@@ -1,0 +1,56 @@
+package invariant
+
+import (
+	"fmt"
+
+	"lightpath/internal/snapshot"
+)
+
+// This file serializes the auditor's counters and retained violations
+// for the fleet checkpoint. A resumed soak must report the same
+// Mutations/Audits/Count columns — and the same Err() text — as the
+// uninterrupted run, so the whole observation record rides along. The
+// process-wide global tally is deliberately NOT restored: it
+// aggregates across trials in one process, and re-adding a resumed
+// trial's history would double-count.
+
+// EncodeState appends the auditor's counters and retained violations
+// to the encoder. Mode and stride are configuration, not state — the
+// resuming side reconstructs the auditor with the same Config.
+func (d *Auditor) EncodeState(e *snapshot.Encoder) {
+	e.Int(d.mutations)
+	e.Int(d.audits)
+	e.Int(d.count)
+	e.Len(len(d.recorded))
+	for _, v := range d.recorded {
+		e.String(v.Invariant)
+		e.String(v.Op)
+		e.String(v.Detail)
+	}
+}
+
+// RestoreState replays counters captured by EncodeState into a
+// freshly attached auditor.
+func (d *Auditor) RestoreState(dec *snapshot.Decoder) error {
+	d.mutations = dec.Int()
+	d.audits = dec.Int()
+	d.count = dec.Int()
+	n := dec.Len()
+	d.recorded = nil
+	for i := 0; i < n; i++ {
+		d.recorded = append(d.recorded, Violation{
+			Invariant: dec.String(),
+			Op:        dec.String(),
+			Detail:    dec.String(),
+		})
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	// Err() prints recorded[0] whenever count is positive; a snapshot
+	// claiming violations but carrying none would make that panic.
+	if d.count > 0 && len(d.recorded) == 0 {
+		return fmt.Errorf("%w: violation count %d with empty record", snapshot.ErrCorruptSnapshot, d.count)
+	}
+	return nil
+}

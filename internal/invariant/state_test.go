@@ -1,0 +1,55 @@
+package invariant
+
+import (
+	"errors"
+	"testing"
+
+	"lightpath/internal/snapshot"
+)
+
+func TestAuditorStateRoundTrip(t *testing.T) {
+	orig := &Auditor{
+		mutations: 17,
+		audits:    5,
+		count:     2,
+		recorded: []Violation{
+			{Invariant: "fiber-occupancy", Op: "establish", Detail: "row 3 over"},
+			{Invariant: "endpoint-width", Op: "release", Detail: "chip 9 negative"},
+		},
+	}
+	var e snapshot.Encoder
+	orig.EncodeState(&e)
+
+	restored := &Auditor{}
+	d := snapshot.NewDecoder(e.Bytes())
+	if err := restored.RestoreState(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Mutations() != 17 || restored.Audits() != 5 || restored.Count() != 2 {
+		t.Fatalf("counters = %d/%d/%d, want 17/5/2",
+			restored.Mutations(), restored.Audits(), restored.Count())
+	}
+	vs := restored.Violations()
+	if len(vs) != 2 || vs[0] != orig.recorded[0] || vs[1] != orig.recorded[1] {
+		t.Fatalf("violations = %+v", vs)
+	}
+	// Err() must render identically on both sides.
+	if restored.Err().Error() != orig.Err().Error() {
+		t.Fatalf("Err diverges: %v vs %v", restored.Err(), orig.Err())
+	}
+}
+
+func TestAuditorRestoreRejectsCountWithoutRecord(t *testing.T) {
+	var e snapshot.Encoder
+	e.Int(1) // mutations
+	e.Int(1) // audits
+	e.Int(3) // count > 0...
+	e.Len(0) // ...but nothing recorded: Err() would index recorded[0]
+	err := (&Auditor{}).RestoreState(snapshot.NewDecoder(e.Bytes()))
+	if !errors.Is(err, snapshot.ErrCorruptSnapshot) {
+		t.Fatalf("err = %v, want ErrCorruptSnapshot", err)
+	}
+}

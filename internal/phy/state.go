@@ -1,0 +1,45 @@
+package phy
+
+import (
+	"lightpath/internal/rng"
+	"lightpath/internal/unit"
+)
+
+// This file exposes the physical layer's mutable state for
+// checkpointing. The MZI's thermal phase and the loss model's
+// position in its stochastic stream are the only things in phy a
+// long-running simulation mutates; capturing both lets a resumed run
+// continue the physics exactly where the killed one stopped.
+
+// PhaseState returns the MZI's thermal state: the current and target
+// differential phases and the simulated time of the last settle.
+func (m *MZI) PhaseState() (phase, target float64, lastUpdate unit.Seconds) {
+	return m.phase, m.targetPhase, m.lastUpdate
+}
+
+// SetPhaseState restores thermal state captured by PhaseState.
+func (m *MZI) SetPhaseState(phase, target float64, lastUpdate unit.Seconds) {
+	m.phase = phase
+	m.targetPhase = target
+	m.lastUpdate = lastUpdate
+}
+
+// RandState returns the loss model's position in its stochastic
+// stream. ok is false for a deterministic (nil-stream) model, which
+// has no state to capture.
+func (m *LossModel) RandState() (s [4]uint64, ok bool) {
+	if m.rand == nil {
+		return s, false
+	}
+	return m.rand.State(), true
+}
+
+// SetRandState repositions the loss model's stochastic stream. A
+// nil-stream model gains a stream at the given position, so restoring
+// into a freshly built model works regardless of how it was seeded.
+func (m *LossModel) SetRandState(s [4]uint64) {
+	if m.rand == nil {
+		m.rand = rng.New(0)
+	}
+	m.rand.SetState(s)
+}

@@ -68,6 +68,23 @@ func (r *Rand) Clone() *Rand {
 	return &c
 }
 
+// State returns the stream's current internal state — its exact
+// position in the xoshiro256** sequence. Together with SetState it
+// lets a checkpoint serialize a stream mid-run and resume it so the
+// continuation draws exactly the values the uninterrupted stream
+// would have.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState overwrites the stream's internal state with one captured
+// by State. An all-zero state is invalid for xoshiro and is bumped to
+// the same guard value New uses.
+func (r *Rand) SetState(s [4]uint64) {
+	r.s = s
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.
