@@ -17,6 +17,8 @@
 //	fig5      bandwidth utilization of sub-rack slices (E6)
 //	show      ASCII diagrams of the paper's rack scenarios
 //	scale     Figure 5a: cubes spliced into larger tori via OCSes
+//	topo      generalized Topology interface demo (-topology rail|torus|mesh)
+//	rail      rail-scale fabric campaign: millions of flows through the sharded solver
 //	fig6a     single-rack electrical replacement infeasibility (E7)
 //	fig6b     cross-rack electrical replacement infeasibility (E8)
 //	fig7      optical repair of broken rings (E9)
@@ -51,7 +53,13 @@ import (
 	"lightpath/internal/engine"
 	"lightpath/internal/experiments"
 	"lightpath/internal/fleet"
+	"lightpath/internal/netsim"
+	"lightpath/internal/route"
+	"lightpath/internal/topo"
+	"lightpath/internal/torus"
+	"lightpath/internal/unit"
 	"lightpath/internal/viz"
+	"lightpath/internal/wafer"
 )
 
 func main() {
@@ -75,6 +83,10 @@ func run(args []string, out printer) error {
 	resume := fs.Bool("resume", false, "resume soak trials from their checkpoints instead of starting fresh")
 	ckptInterval := fs.Uint64("ckpt-interval", 0, "soak checkpoint cadence in event boundaries (0 = fleet default)")
 	killAt := fs.Uint64("kill-at", 0, "stop every soak trial at this event boundary after checkpointing (crash-injection test mode)")
+	topology := fs.String("topology", "rail", "fabric for the topo command: rail, torus, or mesh")
+	rails := fs.Int("rails", 0, "rail count for the rail campaign (0 = acceptance-scale default)")
+	servers := fs.Int("servers", 0, "servers per rail for the rail campaign (0 = acceptance-scale default)")
+	waves := fs.Int("waves", 0, "overlaid ring waves for the rail campaign (0 = acceptance-scale default)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if len(args) == 0 {
@@ -268,6 +280,24 @@ func run(args []string, out printer) error {
 			}
 			return emitCSV(*csvDir, "scale", r)
 		},
+		"topo": func() error { return runTopology(out, *topology) },
+		"rail": func() error {
+			cfg := experiments.DefaultRailFabricConfig()
+			if *rails > 0 {
+				cfg.Rails = *rails
+			}
+			if *servers > 0 {
+				cfg.Servers = *servers
+			}
+			if *waves > 0 {
+				cfg.Waves = *waves
+			}
+			r, err := experiments.RailFabric(cfg)
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "rail", r)
+		},
 		"scheduler": func() error {
 			r, err := experiments.Scheduler(*seed, 24)
 			if err := emit(out, r, err); err != nil {
@@ -279,7 +309,7 @@ func run(args []string, out printer) error {
 
 	if cmd == "all" {
 		order := []string{"info", "fig3a", "fig3b", "fig4", "ber", "table1", "table2",
-			"show", "fig5", "scale", "tenants", "fig6a", "fig6b", "fig7", "repair",
+			"show", "fig5", "scale", "topo", "rail", "tenants", "fig6a", "fig6b", "fig7", "repair",
 			"blast", "chaos", "soak", "sweep", "alltoall", "scheduler", "moe", "moesweep", "hostnet",
 			"protocols", "ablate"}
 		for _, name := range order {
@@ -320,6 +350,50 @@ func emitCSV(csvDir, name string, r fmt.Stringer) error {
 		return nil
 	}
 	return experiments.WriteCSV(filepath.Join(csvDir, name+".csv"), t)
+}
+
+// runTopology demonstrates the generalized Topology interface: build
+// the named fabric at demo scale, place a deterministic neighbor-ring
+// workload through the link allocator, and solve it with the
+// component-sharded max-min solver.
+func runTopology(out printer, name string) error {
+	var (
+		fabric topo.Topology
+		err    error
+	)
+	switch name {
+	case "rail":
+		fabric, err = topo.NewRail(4, 16, unit.GBps(40), unit.GBps(100))
+	case "torus":
+		fabric, err = topo.NewTorusFabric(torus.Shape{4, 4, 4}, unit.GBps(50))
+	case "mesh":
+		fabric, err = topo.NewMesh(4, wafer.DefaultConfig(), unit.GBps(200))
+	default:
+		return fmt.Errorf("unknown -topology %q (want rail, torus, or mesh)", name)
+	}
+	if err != nil {
+		return err
+	}
+	a := route.NewLinkAllocator(fabric)
+	const demoWaves = 2
+	for w := 0; w < demoWaves; w++ {
+		for e := 0; e < fabric.Endpoints(); e++ {
+			a.Place(e, (e+1)%fabric.Endpoints(), unit.Bytes(w+1)*unit.MB)
+		}
+	}
+	var sim netsim.Sim[int]
+	res, err := sim.RunSharded(a.Flows(), a.Capacities())
+	if err != nil {
+		return err
+	}
+	link, load := a.MaxLoad()
+	_, err = fmt.Fprintf(out,
+		"Topology demo: %s fabric behind the generalized Topology interface\n"+
+			"  %d endpoints, %d links; %d neighbor-ring flows placed by the link allocator\n"+
+			"  peak link load: %d flows on link %d\n"+
+			"  sharded max-min solve: makespan %v\n",
+		fabric.Name(), fabric.Endpoints(), fabric.Links(), a.Len(), load, link, res.Makespan)
+	return err
 }
 
 // runShow draws the paper's scenario racks.

@@ -31,6 +31,8 @@ func TestRunEachCommand(t *testing.T) {
 		"scheduler": "offline optimal",
 		"show":      "Figure 6a rack",
 		"scale":     "larger tori",
+		"topo":      "Topology demo",
+		"rail":      "Rail fabric",
 		"protocols": "rendezvous",
 		"moesweep":  "bytes/expert",
 		"ablate":    "decentralized",
@@ -40,6 +42,11 @@ func TestRunEachCommand(t *testing.T) {
 		args := []string{cmd}
 		if cmd == "fig3b" {
 			args = append(args, "-samples", "2000")
+		}
+		if cmd == "rail" {
+			// Sub-second geometry; the acceptance-scale default belongs
+			// to `make rail-smoke` and the benchmarks.
+			args = append(args, "-rails", "4", "-servers", "16", "-waves", "4")
 		}
 		if err := run(args, &buf); err != nil {
 			t.Errorf("%s: %v", cmd, err)
@@ -79,7 +86,7 @@ func TestRunAll(t *testing.T) {
 		t.Skip("full suite in -short mode")
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"all", "-samples", "2000"}, &buf); err != nil {
+	if err := run([]string{"all", "-samples", "2000", "-rails", "4", "-servers", "16", "-waves", "4"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	for _, marker := range []string{"Figure 3a", "Table 1", "Figure 7", "Ablation"} {

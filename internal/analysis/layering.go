@@ -37,6 +37,7 @@ var LayerRanks = map[string]int{
 	"netsim":      30,
 	"sched":       30,
 	"wafer":       30,
+	"topo":        35,
 	"route":       40,
 	"viz":         40,
 	"failure":     50,

@@ -32,6 +32,12 @@ type Entry struct {
 	// simulation quantities the paper cares about (MTTR, stranded
 	// bandwidth, loss budget). These are seed-deterministic.
 	PaperMetrics map[string]float64 `json:"paper_metrics,omitempty"`
+	// TimingMetrics holds custom ReportMetric units beginning "ns/"
+	// (e.g. the rail campaign's ns/flow): normalized wall-clock rates
+	// that are machine-dependent like ns/op, so the bit-exact paper
+	// gate never sees them and CompareTimings checks them under the
+	// ns tolerance instead.
+	TimingMetrics map[string]float64 `json:"timing_metrics,omitempty"`
 }
 
 // Report is the BENCH.json document: every benchmark of one pass.
@@ -89,6 +95,16 @@ func Parse(r io.Reader) (Report, error) {
 			case "MB/s":
 				// Throughput is machine-dependent like ns/op; drop it.
 			default:
+				if strings.HasPrefix(unit, "ns/") {
+					// Custom per-item timings (ns/flow, ns/event) are
+					// wall-clock rates: structured like a paper metric,
+					// machine-dependent like ns/op.
+					if e.TimingMetrics == nil {
+						e.TimingMetrics = map[string]float64{}
+					}
+					e.TimingMetrics[unit] = v
+					continue
+				}
 				if e.PaperMetrics == nil {
 					e.PaperMetrics = map[string]float64{}
 				}
@@ -160,6 +176,25 @@ func CompareTimings(baseline, current Report, nsTol, allocsTol float64) []string
 		if got.AllocsPerOp > want.AllocsPerOp*allocsTol {
 			diffs = append(diffs, fmt.Sprintf("%s: allocs/op %.0f vs baseline %.0f (tolerance %.2fx)",
 				want.Name, got.AllocsPerOp, want.AllocsPerOp, allocsTol))
+		}
+		// Custom "ns/..." metrics are wall-clock rates: same tolerance
+		// class as ns/op.
+		names := make([]string, 0, len(want.TimingMetrics))
+		for name := range want.TimingMetrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			wv := want.TimingMetrics[name]
+			gv, ok := got.TimingMetrics[name]
+			if !ok {
+				diffs = append(diffs, fmt.Sprintf("%s: timing metric %q missing from current run", want.Name, name))
+				continue
+			}
+			if wv > 0 && gv > wv*nsTol {
+				diffs = append(diffs, fmt.Sprintf("%s: %s %.1f vs baseline %.1f (tolerance %.2fx)",
+					want.Name, name, gv, wv, nsTol))
+			}
 		}
 	}
 	return diffs

@@ -6,6 +6,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -16,6 +17,7 @@ pkg: lightpath/internal/experiments
 BenchmarkTenantSweep-8   	      10	  123456 ns/op	    2345 B/op	      67 allocs/op	         0.420 stranded_frac
 BenchmarkChaos-8         	       2	 9876543 ns/op	  887766 B/op	    5544 allocs/op	        16.00 blast_ratio
 BenchmarkThroughput-8    	     100	    1000 ns/op	 512.00 MB/s
+BenchmarkRailFabricPar-8 	       1	 2000000 ns/op	    4096 B/op	      12 allocs/op	       610.0 ns/flow	   1321000 rail_makespan_us
 PASS
 ok  	lightpath/internal/experiments	1.234s
 `
@@ -25,8 +27,8 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
 	}
 	ts := rep.Benchmarks[0]
 	if ts.Name != "BenchmarkTenantSweep" {
@@ -44,6 +46,18 @@ func TestParse(t *testing.T) {
 	// MB/s is machine-dependent and must not land in paper metrics.
 	if len(rep.Benchmarks[2].PaperMetrics) != 0 {
 		t.Fatalf("MB/s leaked into paper metrics: %+v", rep.Benchmarks[2])
+	}
+	// Custom "ns/..." units are timing metrics, never paper metrics;
+	// other units on the same line still land in paper metrics.
+	rail := rep.Benchmarks[3]
+	if rail.TimingMetrics["ns/flow"] != 610 {
+		t.Fatalf("ns/flow not classified as timing metric: %+v", rail)
+	}
+	if _, leaked := rail.PaperMetrics["ns/flow"]; leaked {
+		t.Fatalf("ns/flow leaked into paper metrics: %+v", rail.PaperMetrics)
+	}
+	if rail.PaperMetrics["rail_makespan_us"] != 1321000 {
+		t.Fatalf("rail paper metric wrong: %+v", rail.PaperMetrics)
 	}
 }
 
@@ -67,8 +81,11 @@ func TestJSONRoundTrip(t *testing.T) {
 	if back.Benchmarks[0].Name != "BenchmarkChaos" {
 		t.Fatalf("not sorted: first = %q", back.Benchmarks[0].Name)
 	}
-	if back.Benchmarks[1].PaperMetrics["stranded_frac"] != 0.420 {
-		t.Fatalf("metrics lost: %+v", back.Benchmarks[1])
+	if back.Benchmarks[2].PaperMetrics["stranded_frac"] != 0.420 {
+		t.Fatalf("metrics lost: %+v", back.Benchmarks[2])
+	}
+	if back.Benchmarks[1].TimingMetrics["ns/flow"] != 610 {
+		t.Fatalf("timing metrics lost: %+v", back.Benchmarks[1])
 	}
 }
 
@@ -98,8 +115,14 @@ func TestDiffPaperMetrics(t *testing.T) {
 	t.Run("missing-benchmark", func(t *testing.T) {
 		cur := Report{}
 		diffs := DiffPaperMetrics(base, cur)
-		if len(diffs) != 3 {
-			t.Fatalf("want 3 missing-benchmark diffs, got %v", diffs)
+		if len(diffs) != 4 {
+			t.Fatalf("want 4 missing-benchmark diffs, got %v", diffs)
+		}
+	})
+	t.Run("timing-metric-ignored", func(t *testing.T) {
+		cur, _ := Parse(strings.NewReader(strings.ReplaceAll(sample, "610.0 ns/flow", "9999.0 ns/flow")))
+		if diffs := DiffPaperMetrics(base, cur); len(diffs) != 0 {
+			t.Fatalf("ns/flow drift flagged by the bit-exact gate: %v", diffs)
 		}
 	})
 	t.Run("new-benchmark-ok", func(t *testing.T) {
@@ -158,6 +181,26 @@ func TestCompareTimings(t *testing.T) {
 			t.Fatalf("new benchmark flagged: %v", diffs)
 		}
 	})
+	t.Run("timing-metric-regression", func(t *testing.T) {
+		cur, _ := Parse(strings.NewReader(strings.ReplaceAll(sample, "610.0 ns/flow", "9999.0 ns/flow")))
+		diffs := CompareTimings(base, cur, 1.5, 1.1)
+		if len(diffs) != 1 || !strings.Contains(diffs[0], "ns/flow") {
+			t.Fatalf("ns/flow regression not caught: %v", diffs)
+		}
+	})
+	t.Run("timing-metric-within-tolerance", func(t *testing.T) {
+		cur, _ := Parse(strings.NewReader(strings.ReplaceAll(sample, "610.0 ns/flow", "800.0 ns/flow")))
+		if diffs := CompareTimings(base, cur, 1.5, 1.1); len(diffs) != 0 {
+			t.Fatalf("in-tolerance ns/flow flagged: %v", diffs)
+		}
+	})
+	t.Run("timing-metric-missing", func(t *testing.T) {
+		cur, _ := Parse(strings.NewReader(strings.ReplaceAll(sample, "610.0 ns/flow", "610.0 other_metric")))
+		diffs := CompareTimings(base, cur, 1.5, 1.1)
+		if len(diffs) != 1 || !strings.Contains(diffs[0], "missing") {
+			t.Fatalf("missing ns/flow not reported: %v", diffs)
+		}
+	})
 }
 
 // moduleRoot walks up from the working directory to the go.mod.
@@ -181,8 +224,12 @@ func moduleRoot(t *testing.T) string {
 
 // TestEveryBenchmarkReportsOnePaperMetric is the harness guard: each
 // Benchmark* function in any bench_test.go must call b.ReportMetric
-// exactly once, so BENCH.json carries exactly one deterministic paper
-// metric per benchmark for the regression diff.
+// with a non-"ns/" unit exactly once, so BENCH.json carries exactly
+// one deterministic paper metric per benchmark for the regression
+// diff. Additional calls whose unit literal begins "ns/" are the
+// timing-metric class (machine-dependent rates like ns/flow) and are
+// exempt; a unit that is not a plain string literal counts as a paper
+// metric, so nobody can dodge the guard by computing the unit.
 func TestEveryBenchmarkReportsOnePaperMetric(t *testing.T) {
 	root := moduleRoot(t)
 	var checked int
@@ -215,14 +262,26 @@ func TestEveryBenchmarkReportsOnePaperMetric(t *testing.T) {
 				if !ok {
 					return true
 				}
-				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "ReportMetric" {
-					count++
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "ReportMetric" {
+					return true
 				}
+				// Timing metrics — a string-literal unit starting
+				// "ns/" — are the machine-dependent class and do not
+				// count toward the one-paper-metric budget.
+				if len(call.Args) == 2 {
+					if lit, ok := call.Args[1].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						if unit, err := strconv.Unquote(lit.Value); err == nil && strings.HasPrefix(unit, "ns/") {
+							return true
+						}
+					}
+				}
+				count++
 				return true
 			})
 			if count != 1 {
 				rel, _ := filepath.Rel(root, path)
-				t.Errorf("%s: %s calls ReportMetric %d times, want exactly 1", rel, fn.Name.Name, count)
+				t.Errorf("%s: %s calls ReportMetric %d times with a paper-metric unit, want exactly 1", rel, fn.Name.Name, count)
 			}
 			checked++
 		}

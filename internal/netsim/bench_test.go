@@ -33,9 +33,9 @@ func BenchmarkRunEvents(b *testing.B) {
 	var makespan float64
 	var sim Sim[string]
 	// One untimed call warms the Sim's scratch so the measurement is
-	// the steady state the campaigns run in (`make bench` uses
-	// -benchtime=1x, where a cold first iteration would otherwise
-	// charge the one-time scratch construction to the result).
+	// the steady state the campaigns run in (under `make bench`'s
+	// small time budget a cold first iteration would otherwise charge
+	// the one-time scratch construction to the result).
 	if _, err := sim.RunEvents(flows, caps, events, pol); err != nil {
 		b.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func benchFairRates(b *testing.B, f, r, hops int) float64 {
 	flows, caps := benchFlows(f, r, hops)
 	var sim Sim[string]
 	var total float64
-	// Warm the scratch so -benchtime=1x measures steady state.
+	// Warm the scratch so the short bench budget measures steady state.
 	if _, err := sim.Run(flows, caps); err != nil {
 		b.Fatal(err)
 	}
