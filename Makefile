@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet vet-baseline vet-sarif check chaos-smoke soak-smoke soak-resume-smoke rail-smoke bench bench-smoke bench-compare
+.PHONY: all build test race lint fmt vet vet-baseline vet-sarif check chaos-smoke soak-smoke soak-resume-smoke rail-smoke controller-smoke bench bench-smoke bench-compare
 
 all: check
 
@@ -103,6 +103,33 @@ rail-smoke:
 	done; rm -rf $$tmp; \
 	if [ $$rc -ne 0 ]; then echo "rail CSV diverged from golden" >&2; exit 1; fi
 
+## controller-smoke: the daemon gate. First the lightpath-controller
+## binary's selfcheck drill under the race detector: a real daemon on
+## a loopback port driven through every rung of the robustness ladder
+## (hostile frame, impossible deadlines, chip death -> breaker trips,
+## overload shedding, checkpoint -> kill -> resume). Then the pinned-
+## seed load campaign — 256k requests across 256 agents — in both
+## -parallel modes, diffed byte-for-byte against the committed golden.
+## Finally crash injection: kill every trial at a mid-run event
+## boundary, resume from the checkpoints, and demand the resumed CSV
+## be identical to the uninterrupted golden. (The full-scale race pass
+## over this code runs in `make race` via the ctrl package tests; the
+## campaign itself runs without -race to keep the gate under two
+## minutes.)
+controller-smoke:
+	@tmp=$$(mktemp -d); rc=0; \
+	$(GO) run -race ./cmd/lightpath-controller -selfcheck >/dev/null || rc=1; \
+	for par in true false; do \
+		$(GO) run ./cmd/lightpath-sim controller -seed 2024 -trials 2 -parallel=$$par -csv $$tmp >/dev/null && \
+		diff -u cmd/lightpath-sim/testdata/controller_golden.csv $$tmp/controller.csv || rc=1; \
+	done; \
+	ck=$$tmp/ck; mkdir -p $$ck; \
+	$(GO) run ./cmd/lightpath-sim controller -seed 2024 -trials 2 -checkpoint $$ck -kill-at 100000 >/dev/null && \
+	$(GO) run ./cmd/lightpath-sim controller -seed 2024 -trials 2 -checkpoint $$ck -resume -csv $$tmp >/dev/null && \
+	diff -u cmd/lightpath-sim/testdata/controller_golden.csv $$tmp/controller.csv || rc=1; \
+	rm -rf $$tmp; \
+	if [ $$rc -ne 0 ]; then echo "controller smoke diverged (seed 2024)" >&2; exit 1; fi
+
 ## bench: run every benchmark with allocation stats and write the
 ## structured report to BENCH.json (ns/op, allocs/op, and each
 ## benchmark's deterministic paper metric). The 100ms time budget
@@ -133,4 +160,4 @@ bench-compare:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./internal/... | $(GO) run ./cmd/lightpath-bench -compare BENCH_baseline.json -ns-tol $(NS_TOL) -allocs-tol $(ALLOCS_TOL)
 
 ## check: everything CI runs, in the same order.
-check: build lint race chaos-smoke soak-smoke soak-resume-smoke rail-smoke bench-smoke
+check: build lint race chaos-smoke soak-smoke soak-resume-smoke rail-smoke controller-smoke bench-smoke

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lightpath/internal/invariant"
+)
+
+// TestSelfcheck runs the full robustness drill: a real daemon on a
+// loopback port, driven over the wire through every rung of the
+// degradation ladder, killed, and resumed from its checkpoint.
+func TestSelfcheck(t *testing.T) {
+	t.Cleanup(invariant.ResetGlobal)
+	var buf bytes.Buffer
+	if err := run([]string{"-selfcheck"}, &buf); err != nil {
+		t.Fatalf("selfcheck failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, marker := range []string{
+		"selfcheck: ok",
+		"impossible deadlines refused",
+		"fast breaker rejects",
+		"establishes shed",
+		"crash -> resume: stats identical",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("selfcheck output missing %q:\n%s", marker, out)
+		}
+	}
+}
+
+// TestSelfcheckDeterministicAcrossSeeds drills two different seeds:
+// the ladder must hold regardless of the allocator's stochastic
+// stream.
+func TestSelfcheckOtherSeed(t *testing.T) {
+	t.Cleanup(invariant.ResetGlobal)
+	var buf bytes.Buffer
+	if err := run([]string{"-selfcheck", "-seed", "99"}, &buf); err != nil {
+		t.Fatalf("selfcheck with seed 99 failed: %v\n%s", err, buf.String())
+	}
+}
+
+// TestRunFlagErrors pins the argument contract.
+func TestRunFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-tick-us", "-3"}, &buf); err == nil {
+		t.Error("negative tick accepted")
+	}
+	if err := run([]string{"-resume"}, &buf); err == nil {
+		t.Error("-resume without -checkpoint accepted")
+	}
+	if err := run([]string{"-resume", "-checkpoint", filepath.Join(t.TempDir(), "missing.ckpt")}, &buf); err == nil {
+		t.Error("-resume from a missing checkpoint accepted")
+	}
+}

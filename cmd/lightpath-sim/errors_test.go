@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 
+	"lightpath/internal/chaos"
+	"lightpath/internal/ctrl"
 	"lightpath/internal/invariant"
 	"lightpath/internal/netsim"
 	"lightpath/internal/route"
@@ -90,6 +92,69 @@ func TestErrorTaxonomyFromTheTop(t *testing.T) {
 				pol.MaxRetries = 1 << 30
 				_, err := netsim.RunEvents(flows, caps, events, pol)
 				return err
+			},
+		},
+		{
+			name:     "controller overloaded",
+			sentinel: ctrl.ErrOverloaded,
+			context:  "queue",
+			trigger: func(t *testing.T) error {
+				s, err := ctrl.NewServer(ctrl.Config{Seed: 1, QueueCap: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(invariant.ResetGlobal)
+				// A same-instant burst: the queue holds 2, the rest shed.
+				var last ctrl.Response
+				for i := 0; i < 8; i++ {
+					last, _ = s.Submit(ctrl.Request{Op: ctrl.OpEstablish, A: i % 4, B: 20 + i, Width: 1}, 0)
+				}
+				return last.Err()
+			},
+		},
+		{
+			name:     "deadline tighter than service",
+			sentinel: ctrl.ErrDeadlineExceeded,
+			context:  "budget",
+			trigger: func(t *testing.T) error {
+				s, err := ctrl.NewServer(ctrl.Config{Seed: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(invariant.ResetGlobal)
+				// Default establish service is 2 us; a 1 us budget can
+				// never be met and is refused before consuming capacity.
+				resp, _ := s.Submit(ctrl.Request{
+					Op: ctrl.OpEstablish, A: 0, B: 9, Width: 1, Deadline: unit.Microsecond,
+				}, 0)
+				return resp.Err()
+			},
+		},
+		{
+			name:     "breaker fences a dead chip",
+			sentinel: ctrl.ErrBreakerOpen,
+			context:  "until t=",
+			trigger: func(t *testing.T) error {
+				s, err := ctrl.NewServer(ctrl.Config{
+					Seed:    1,
+					Breaker: ctrl.BreakerConfig{FailThreshold: 3, Cooldown: unit.Millisecond, HalfOpenProbes: 1},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(invariant.ResetGlobal)
+				if _, err := s.ApplyFault(chaos.Fault{Class: chaos.ChipFailure, Chip: 5}, 0); err != nil {
+					t.Fatal(err)
+				}
+				// Spaced arrivals so the queue drains: three clean
+				// endpoint failures trip the region, the fourth is
+				// rejected by the open breaker.
+				var last ctrl.Response
+				for i := 0; i < 4; i++ {
+					at := unit.Seconds(i+1) * 100 * unit.Microsecond
+					last, _ = s.Submit(ctrl.Request{Op: ctrl.OpEstablish, A: 5, B: 30, Width: 1}, at)
+				}
+				return last.Err()
 			},
 		},
 		{

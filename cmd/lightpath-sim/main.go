@@ -26,6 +26,7 @@
 //	blast     blast radius sweep, electrical vs optical policy (E10)
 //	chaos     fault-injected AllReduce: MTTR, goodput and blast radius under recovery
 //	soak      multi-day fleet soak: self-healing availability under Poisson faults
+//	controller  million-request lightpath-controller load campaign (X14)
 //	sweep     AllReduce completion time vs buffer size (E11)
 //	alltoall  AllToAll: per-step circuit reprogramming vs DOR routing (§5)
 //	scheduler online reconfiguration policies vs offline optimal (§1/§5)
@@ -50,6 +51,7 @@ import (
 
 	"lightpath/internal/alloc"
 	"lightpath/internal/core"
+	"lightpath/internal/ctrl/loadgen"
 	"lightpath/internal/engine"
 	"lightpath/internal/experiments"
 	"lightpath/internal/fleet"
@@ -79,10 +81,10 @@ func run(args []string, out printer) error {
 	trials := fs.Int("trials", 8, "trials for the chaos and soak campaigns")
 	csvDir := fs.String("csv", "", "directory to also write each experiment's data series as <command>.csv")
 	parallel := fs.Bool("parallel", true, "fan Monte-Carlo campaigns across CPUs (output is identical either way)")
-	checkpoint := fs.String("checkpoint", "", "directory for per-trial soak checkpoints (enables crash-tolerant soak)")
-	resume := fs.Bool("resume", false, "resume soak trials from their checkpoints instead of starting fresh")
-	ckptInterval := fs.Uint64("ckpt-interval", 0, "soak checkpoint cadence in event boundaries (0 = fleet default)")
-	killAt := fs.Uint64("kill-at", 0, "stop every soak trial at this event boundary after checkpointing (crash-injection test mode)")
+	checkpoint := fs.String("checkpoint", "", "directory for per-trial soak/controller checkpoints (enables crash tolerance)")
+	resume := fs.Bool("resume", false, "resume soak/controller trials from their checkpoints instead of starting fresh")
+	ckptInterval := fs.Uint64("ckpt-interval", 0, "soak/controller checkpoint cadence in event boundaries (0 = campaign default)")
+	killAt := fs.Uint64("kill-at", 0, "stop every soak/controller trial at this event boundary after checkpointing (crash-injection test mode)")
 	topology := fs.String("topology", "rail", "fabric for the topo command: rail, torus, or mesh")
 	rails := fs.Int("rails", 0, "rail count for the rail campaign (0 = acceptance-scale default)")
 	servers := fs.Int("servers", 0, "servers per rail for the rail campaign (0 = acceptance-scale default)")
@@ -214,6 +216,30 @@ func run(args []string, out printer) error {
 			}
 			return emitCSV(*csvDir, "soak", r)
 		},
+		"controller": func() error {
+			if *checkpoint != "" {
+				if err := os.MkdirAll(*checkpoint, 0o755); err != nil {
+					return fmt.Errorf("controller: checkpoint dir: %w", err)
+				}
+			}
+			r, err := experiments.ControllerWithOptions(*seed, experiments.ControllerOptions{
+				Trials:          *trials,
+				CheckpointDir:   *checkpoint,
+				EveryEvents:     *ckptInterval,
+				KillAfterEvents: *killAt,
+				Resume:          *resume,
+			})
+			if errors.Is(err, loadgen.ErrStopped) {
+				// Crash-injection mode: trials checkpointed and halted
+				// as requested; a later -resume run completes them.
+				_, werr := fmt.Fprintf(out, "controller: trials stopped at event %d, checkpoints in %s\n", *killAt, *checkpoint)
+				return werr
+			}
+			if err := emit(out, r, err); err != nil {
+				return err
+			}
+			return emitCSV(*csvDir, "controller", r)
+		},
 		"sweep": func() error {
 			r, err := experiments.Sweep(experiments.DefaultSweepBuffers(), *seed)
 			if err := emit(out, r, err); err != nil {
@@ -310,7 +336,7 @@ func run(args []string, out printer) error {
 	if cmd == "all" {
 		order := []string{"info", "fig3a", "fig3b", "fig4", "ber", "table1", "table2",
 			"show", "fig5", "scale", "topo", "rail", "tenants", "fig6a", "fig6b", "fig7", "repair",
-			"blast", "chaos", "soak", "sweep", "alltoall", "scheduler", "moe", "moesweep", "hostnet",
+			"blast", "chaos", "soak", "controller", "sweep", "alltoall", "scheduler", "moe", "moesweep", "hostnet",
 			"protocols", "ablate"}
 		for _, name := range order {
 			if err := commands[name](); err != nil {

@@ -10,32 +10,33 @@ import (
 
 func TestRunEachCommand(t *testing.T) {
 	cases := map[string]string{
-		"info":      "tiles per wafer",
-		"fig3a":     "reconfiguration latency",
-		"fig3b":     "reticle stitch loss",
-		"fig4":      "waveguide density",
-		"table1":    "beta ratio (elec/optics) = 3.00x",
-		"table2":    "1.5x",
-		"fig5":      "worst electrical bandwidth drop",
-		"fig6a":     "IMPOSSIBLE",
-		"fig6b":     "IMPOSSIBLE",
-		"fig7":      "disjoint",
-		"blast":     "16x",
-		"moe":       "Mixture-of-Experts",
-		"soak":      "Fleet soak",
-		"hostnet":   "crossover",
-		"tenants":   "rescued by optics",
-		"ber":       "waterfall",
-		"alltoall":  "reprogramming every step",
-		"repair":    "Repairability sweep",
-		"scheduler": "offline optimal",
-		"show":      "Figure 6a rack",
-		"scale":     "larger tori",
-		"topo":      "Topology demo",
-		"rail":      "Rail fabric",
-		"protocols": "rendezvous",
-		"moesweep":  "bytes/expert",
-		"ablate":    "decentralized",
+		"info":       "tiles per wafer",
+		"fig3a":      "reconfiguration latency",
+		"fig3b":      "reticle stitch loss",
+		"fig4":       "waveguide density",
+		"table1":     "beta ratio (elec/optics) = 3.00x",
+		"table2":     "1.5x",
+		"fig5":       "worst electrical bandwidth drop",
+		"fig6a":      "IMPOSSIBLE",
+		"fig6b":      "IMPOSSIBLE",
+		"fig7":       "disjoint",
+		"blast":      "16x",
+		"moe":        "Mixture-of-Experts",
+		"soak":       "Fleet soak",
+		"hostnet":    "crossover",
+		"tenants":    "rescued by optics",
+		"ber":        "waterfall",
+		"alltoall":   "reprogramming every step",
+		"repair":     "Repairability sweep",
+		"scheduler":  "offline optimal",
+		"show":       "Figure 6a rack",
+		"scale":      "larger tori",
+		"topo":       "Topology demo",
+		"rail":       "Rail fabric",
+		"protocols":  "rendezvous",
+		"moesweep":   "bytes/expert",
+		"ablate":     "decentralized",
+		"controller": "Controller load",
 	}
 	for cmd, want := range cases {
 		var buf bytes.Buffer
@@ -47,6 +48,11 @@ func TestRunEachCommand(t *testing.T) {
 			// Sub-second geometry; the acceptance-scale default belongs
 			// to `make rail-smoke` and the benchmarks.
 			args = append(args, "-rails", "4", "-servers", "16", "-waves", "4")
+		}
+		if cmd == "controller" {
+			// One trial here; the acceptance-scale campaign belongs to
+			// `make controller-smoke` and the golden CSV.
+			args = append(args, "-trials", "1")
 		}
 		if err := run(args, &buf); err != nil {
 			t.Errorf("%s: %v", cmd, err)
@@ -86,10 +92,10 @@ func TestRunAll(t *testing.T) {
 		t.Skip("full suite in -short mode")
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"all", "-samples", "2000", "-rails", "4", "-servers", "16", "-waves", "4"}, &buf); err != nil {
+	if err := run([]string{"all", "-samples", "2000", "-rails", "4", "-servers", "16", "-waves", "4", "-trials", "2"}, &buf); err != nil {
 		t.Fatal(err)
 	}
-	for _, marker := range []string{"Figure 3a", "Table 1", "Figure 7", "Ablation"} {
+	for _, marker := range []string{"Figure 3a", "Table 1", "Figure 7", "Ablation", "Controller load"} {
 		if !strings.Contains(buf.String(), marker) {
 			t.Errorf("all output missing %q", marker)
 		}

@@ -11,7 +11,9 @@ const internalPrefix = "lightpath/internal/"
 // LayerRanks assigns each internal package a layer; a package may only
 // import internal packages with a strictly lower rank. Ranks are
 // spaced by ten so new packages can slot between existing layers
-// without renumbering.
+// without renumbering. Keys are paths relative to internal/; a nested
+// package (ctrl/loadgen) may declare its own rank, and otherwise
+// inherits the rank of its closest declared ancestor.
 //
 // The bottom layer (rank 0) holds the leaf vocabulary of the whole
 // system — physical quantities (unit), deterministic randomness (rng),
@@ -20,31 +22,50 @@ const internalPrefix = "lightpath/internal/"
 // sits strictly below scheduling and experiment logic, so the paper's
 // link-budget math can never grow a dependency on policy code.
 var LayerRanks = map[string]int{
-	"analysis":    0,
-	"chaos":       10,
-	"engine":      0,
-	"bench":       0,
-	"rng":         0,
-	"snapshot":    0,
-	"unit":        0,
-	"sketch":      10,
-	"torus":       10,
-	"collective":  20,
-	"phy":         20,
-	"alloc":       30,
-	"cost":        30,
-	"hostnet":     30,
-	"netsim":      30,
-	"sched":       30,
-	"wafer":       30,
-	"topo":        35,
-	"route":       40,
-	"viz":         40,
-	"failure":     50,
-	"invariant":   50,
-	"fleet":       55,
-	"core":        60,
-	"experiments": 70,
+	"analysis":     0,
+	"chaos":        10,
+	"engine":       0,
+	"bench":        0,
+	"rng":          0,
+	"snapshot":     0,
+	"unit":         0,
+	"sketch":       10,
+	"torus":        10,
+	"collective":   20,
+	"phy":          20,
+	"alloc":        30,
+	"cost":         30,
+	"hostnet":      30,
+	"netsim":       30,
+	"sched":        30,
+	"wafer":        30,
+	"topo":         35,
+	"route":        40,
+	"viz":          40,
+	"failure":      50,
+	"invariant":    50,
+	"fleet":        55,
+	"core":         60,
+	"ctrl":         62,
+	"ctrl/loadgen": 64,
+	"experiments":  70,
+}
+
+// rankOf resolves a package path (relative to internal/) to its layer:
+// the longest declared prefix wins, so "ctrl/loadgen" finds its own
+// entry while an undeclared "ctrl/internal-helper" would inherit
+// "ctrl"'s rank rather than demand a new map entry.
+func rankOf(rel string) (int, bool) {
+	for {
+		if r, ok := LayerRanks[rel]; ok {
+			return r, true
+		}
+		i := strings.LastIndex(rel, "/")
+		if i < 0 {
+			return 0, false
+		}
+		rel = rel[:i]
+	}
 }
 
 // Layering enforces the package dependency DAG declared in LayerRanks:
@@ -63,7 +84,7 @@ func runLayering(pass *Pass) error {
 	if !ok {
 		return nil // cmd, examples, and the root package are unconstrained
 	}
-	selfRank, known := LayerRanks[strings.SplitN(self, "/", 2)[0]]
+	selfRank, known := rankOf(self)
 	if !known {
 		pass.Reportf(pass.Files[0].Name.Pos(), "package %s is not in the layering map; declare its rank in internal/analysis/layering.go", pass.Pkg.Path())
 		return nil
@@ -75,7 +96,7 @@ func runLayering(pass *Pass) error {
 			if !ok {
 				continue
 			}
-			depRank, known := LayerRanks[strings.SplitN(dep, "/", 2)[0]]
+			depRank, known := rankOf(dep)
 			if !known {
 				pass.Reportf(imp.Pos(), "import %s is not in the layering map; declare its rank in internal/analysis/layering.go", path)
 				continue

@@ -1,0 +1,66 @@
+package ctrl
+
+import (
+	"lightpath/internal/rng"
+	"lightpath/internal/unit"
+)
+
+// Backoff is the client-side retry schedule: capped exponential with
+// deterministic seeded jitter. Given the same rng stream it produces
+// the same delays in the same order — the property test asserts the
+// schedule is byte-identical across runs — so a million-agent load
+// campaign that retries on ErrOverloaded stays exactly reproducible.
+type Backoff struct {
+	// Base is the first retry's nominal delay.
+	Base unit.Seconds
+	// Factor multiplies the nominal delay per attempt (>= 1).
+	Factor float64
+	// Cap bounds the nominal delay.
+	Cap unit.Seconds
+	// Jitter is the +/- fraction of the nominal delay the seeded
+	// jitter draw spreads over, in [0, 1]: the delay for attempt k is
+	// uniform in [nominal*(1-Jitter/2), nominal*(1+Jitter/2)).
+	Jitter float64
+	// MaxRetries is how many retries a client attempts before giving
+	// up and counting the request lost.
+	MaxRetries int
+}
+
+// DefaultBackoff returns the load generator's standard retry tuning:
+// 20 us doubling to a 2 ms cap with 50% jitter, four retries.
+func DefaultBackoff() Backoff {
+	return Backoff{
+		Base:       20 * unit.Microsecond,
+		Factor:     2,
+		Cap:        2 * unit.Millisecond,
+		Jitter:     0.5,
+		MaxRetries: 4,
+	}
+}
+
+// Delay returns the retry delay for attempt k (0 = first retry),
+// drawing the jitter from r. The nominal delay is min(Base*Factor^k,
+// Cap); the returned delay is never negative and never more than
+// Cap*(1+Jitter/2).
+func (b Backoff) Delay(r *rng.Rand, attempt int) unit.Seconds {
+	nominal := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		nominal *= b.Factor
+		if nominal >= float64(b.Cap) {
+			nominal = float64(b.Cap)
+			break
+		}
+	}
+	if nominal > float64(b.Cap) {
+		nominal = float64(b.Cap)
+	}
+	if b.Jitter <= 0 {
+		return unit.Seconds(nominal)
+	}
+	spread := 1 - b.Jitter/2 + b.Jitter*r.Float64()
+	d := nominal * spread
+	if d < 0 {
+		d = 0
+	}
+	return unit.Seconds(d)
+}

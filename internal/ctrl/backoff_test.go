@@ -1,0 +1,75 @@
+package ctrl
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"lightpath/internal/rng"
+	"lightpath/internal/unit"
+)
+
+// backoffSchedule renders one seeded retry schedule with full float
+// precision, so comparing strings is comparing bits.
+func backoffSchedule(seed uint64, b Backoff) string {
+	r := rng.New(seed)
+	var s strings.Builder
+	for attempt := 0; attempt <= b.MaxRetries; attempt++ {
+		fmt.Fprintf(&s, "%d %x\n", attempt, math.Float64bits(float64(b.Delay(r, attempt))))
+	}
+	return s.String()
+}
+
+// TestBackoffDeterministic regenerates 200 seeded retry schedules and
+// demands they are byte-identical across runs: a retrying client is as
+// reproducible as a non-retrying one.
+func TestBackoffDeterministic(t *testing.T) {
+	b := DefaultBackoff()
+	for trial := 0; trial < 200; trial++ {
+		seed := uint64(trial) * 7919
+		if x, y := backoffSchedule(seed, b), backoffSchedule(seed, b); x != y {
+			t.Fatalf("seed %d: retry schedules diverged:\n--- first ---\n%s--- second ---\n%s", seed, x, y)
+		}
+	}
+}
+
+// TestBackoffBounds checks every jittered delay stays inside its
+// documented envelope and the nominal delay caps.
+func TestBackoffBounds(t *testing.T) {
+	b := Backoff{Base: 10 * unit.Microsecond, Factor: 3, Cap: 200 * unit.Microsecond, Jitter: 0.5, MaxRetries: 8}
+	r := rng.New(42)
+	for attempt := 0; attempt <= b.MaxRetries; attempt++ {
+		nominal := float64(b.Base) * math.Pow(b.Factor, float64(attempt))
+		if nominal > float64(b.Cap) {
+			nominal = float64(b.Cap)
+		}
+		for i := 0; i < 200; i++ {
+			d := float64(b.Delay(r, attempt))
+			lo, hi := nominal*(1-b.Jitter/2), nominal*(1+b.Jitter/2)
+			if d < lo || d >= hi {
+				t.Fatalf("attempt %d: delay %g outside [%g, %g)", attempt, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestBackoffNoJitter checks the degenerate schedules: zero jitter is
+// exactly the nominal ladder, and the rng is not consulted at all.
+func TestBackoffNoJitter(t *testing.T) {
+	b := Backoff{Base: unit.Microsecond, Factor: 2, Cap: 8 * unit.Microsecond, MaxRetries: 5}
+	r := rng.New(1)
+	before := r.State()
+	want := []unit.Seconds{
+		unit.Microsecond, 2 * unit.Microsecond, 4 * unit.Microsecond,
+		8 * unit.Microsecond, 8 * unit.Microsecond, 8 * unit.Microsecond,
+	}
+	for attempt, w := range want {
+		if d := b.Delay(r, attempt); d != w {
+			t.Fatalf("attempt %d: delay %v, want %v", attempt, d, w)
+		}
+	}
+	if r.State() != before {
+		t.Fatal("zero-jitter backoff consumed rng state")
+	}
+}

@@ -1,0 +1,173 @@
+package ctrl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"lightpath/internal/rng"
+	"lightpath/internal/snapshot"
+	"lightpath/internal/unit"
+)
+
+// TestBreakerStateMachine walks the documented transitions directly:
+// closed trips open at exactly FailThreshold consecutive failures, an
+// open breaker rejects until the cooldown elapses, half-open admits
+// exactly HalfOpenProbes, a probe success closes and a probe failure
+// reopens.
+func TestBreakerStateMachine(t *testing.T) {
+	cfg := BreakerConfig{FailThreshold: 3, Cooldown: 10 * unit.Microsecond, HalfOpenProbes: 1}
+	b := NewBreaker(cfg)
+
+	// Closed: failures below the threshold stay closed; a success
+	// resets the streak.
+	for i := 0; i < cfg.FailThreshold-1; i++ {
+		if err := b.Allow(0); err != nil {
+			t.Fatalf("closed breaker rejected: %v", err)
+		}
+		b.Failure(0)
+	}
+	b.Success()
+	for i := 0; i < cfg.FailThreshold-1; i++ {
+		b.Failure(0)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("breaker tripped below threshold after a reset: %v", b.State())
+	}
+
+	// The threshold-th consecutive failure trips it.
+	b.Failure(0)
+	if b.State() != BreakerOpen || b.Trips() != 1 {
+		t.Fatalf("state %v trips %d after threshold, want open/1", b.State(), b.Trips())
+	}
+
+	// Open: rejects with the taxonomy sentinel until cooldown.
+	if err := b.Allow(cfg.Cooldown / 2); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker before cooldown: %v", err)
+	}
+
+	// Cooldown elapsed: half-open, admits exactly HalfOpenProbes.
+	if err := b.Allow(cfg.Cooldown); err != nil {
+		t.Fatalf("half-open transition rejected the probe: %v", err)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after cooldown, want half-open", b.State())
+	}
+	if err := b.Allow(cfg.Cooldown); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("probe quota not enforced: %v", err)
+	}
+
+	// A probe failure reopens immediately.
+	b.Failure(cfg.Cooldown)
+	if b.State() != BreakerOpen || b.Trips() != 2 {
+		t.Fatalf("state %v trips %d after probe failure, want open/2", b.State(), b.Trips())
+	}
+
+	// Next epoch: probe succeeds, breaker closes and passes freely.
+	if err := b.Allow(2 * cfg.Cooldown); err != nil {
+		t.Fatalf("second half-open probe rejected: %v", err)
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after probe success, want closed", b.State())
+	}
+	if err := b.Allow(2 * cfg.Cooldown); err != nil {
+		t.Fatalf("closed breaker rejected after recovery: %v", err)
+	}
+}
+
+// breakerTrace drives one seeded random workload through a breaker and
+// returns the full transition trace, checking state-machine legality
+// at every step.
+func breakerTrace(t *testing.T, seed uint64) string {
+	t.Helper()
+	r := rng.New(seed)
+	cfg := BreakerConfig{
+		FailThreshold:  2 + r.Intn(6),
+		Cooldown:       unit.Seconds(1+r.Intn(20)) * unit.Microsecond,
+		HalfOpenProbes: 1 + r.Intn(3),
+	}
+	b := NewBreaker(cfg)
+	var trace strings.Builder
+	fmt.Fprintf(&trace, "cfg=%+v\n", cfg)
+	now := unit.Seconds(0)
+	prev := b.State()
+	for step := 0; step < 400; step++ {
+		now += unit.Seconds(r.Intn(5)) * unit.Microsecond
+		if err := b.Allow(now); err != nil {
+			if !errors.Is(err, ErrBreakerOpen) {
+				t.Fatalf("step %d: rejection outside the taxonomy: %v", step, err)
+			}
+			fmt.Fprintf(&trace, "%d reject %v\n", step, b.State())
+		} else {
+			// An admitted request resolves either way, biased toward
+			// failure so trips actually happen.
+			if r.Float64() < 0.6 {
+				b.Failure(now)
+				fmt.Fprintf(&trace, "%d fail -> %v\n", step, b.State())
+			} else {
+				b.Success()
+				fmt.Fprintf(&trace, "%d ok -> %v\n", step, b.State())
+			}
+		}
+		cur := b.State()
+		// Transitions observed across one step. Open -> closed and
+		// open -> open are legal because a single step can pass
+		// through half-open: Allow flips open to half-open and the
+		// probe's Success/Failure resolves it immediately.
+		legal := map[[2]BreakerState]bool{
+			{BreakerClosed, BreakerClosed}: true, {BreakerClosed, BreakerOpen}: true,
+			{BreakerOpen, BreakerOpen}: true, {BreakerOpen, BreakerHalfOpen}: true,
+			{BreakerOpen, BreakerClosed}:       true,
+			{BreakerHalfOpen, BreakerHalfOpen}: true, {BreakerHalfOpen, BreakerClosed}: true,
+			{BreakerHalfOpen, BreakerOpen}: true,
+		}
+		if !legal[[2]BreakerState{prev, cur}] {
+			t.Fatalf("step %d: illegal transition %v -> %v", step, prev, cur)
+		}
+		prev = cur
+	}
+	fmt.Fprintf(&trace, "trips=%d\n", b.Trips())
+	if b.Trips() == 0 {
+		t.Fatalf("seed %d: workload never tripped the breaker", seed)
+	}
+	return trace.String()
+}
+
+// TestBreakerDeterministic replays 200 seeded random workloads twice
+// and demands byte-identical transition traces — the breaker is a pure
+// function of its call sequence, with no hidden wall-clock or map-order
+// dependence. Run under -race this also proves the trace computation
+// shares nothing between trials.
+func TestBreakerDeterministic(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		seed := uint64(trial)
+		if a, b := breakerTrace(t, seed), breakerTrace(t, seed); a != b {
+			t.Fatalf("seed %d: transition traces diverged:\n--- first ---\n%s--- second ---\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestBreakerSnapshotRoundTrip checks a breaker restored mid-epoch
+// behaves identically to the original.
+func TestBreakerSnapshotRoundTrip(t *testing.T) {
+	cfg := BreakerConfig{FailThreshold: 2, Cooldown: 5 * unit.Microsecond, HalfOpenProbes: 1}
+	b := NewBreaker(cfg)
+	b.Failure(0)
+	b.Failure(0) // trips at t=0
+	var e snapshot.Encoder
+	b.EncodeState(&e)
+	r := NewBreaker(cfg)
+	if err := r.RestoreState(snapshot.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if r.State() != b.State() || r.Trips() != b.Trips() {
+		t.Fatalf("restored breaker %v/%d, want %v/%d", r.State(), r.Trips(), b.State(), b.Trips())
+	}
+	// Both must flip half-open at the same instant.
+	errA, errB := b.Allow(cfg.Cooldown), r.Allow(cfg.Cooldown)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("restored breaker diverged at cooldown: %v vs %v", errA, errB)
+	}
+}

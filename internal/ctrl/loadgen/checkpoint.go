@@ -1,0 +1,290 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lightpath/internal/ctrl"
+	"lightpath/internal/snapshot"
+	"lightpath/internal/unit"
+)
+
+// This file is the campaign's crash-tolerance layer. A checkpoint is
+// one snapshot-envelope file capturing the controller's full state
+// (allocator, auditor, breakers, clock, backlog, counters), every
+// agent's rng position and arrival cursor, the open sessions, the
+// event heap in its raw array layout, and the accumulated statistics.
+// Checkpoints land only on event boundaries and the chaos schedule is
+// recomputed from the config on resume, so a campaign killed at any
+// boundary resumes to a Result byte-identical to the uninterrupted
+// run — the property the kill-sweep test asserts.
+
+// checkpointVersion is the current campaign checkpoint format.
+const checkpointVersion = 1
+
+// ErrStopped is returned by RunCheckpointed when the campaign halted
+// at the StopAfterEvents boundary instead of draining. The kill-sweep
+// harness uses it to stop a campaign at a chosen event and Resume it.
+var ErrStopped = errors.New("loadgen: campaign stopped at checkpoint boundary")
+
+// CheckpointOptions configures periodic snapshotting of a campaign.
+type CheckpointOptions struct {
+	// Path is the checkpoint file; the writer keeps the previous good
+	// snapshot beside it (Path + ".prev") for torn-write fallback.
+	// Empty disables checkpointing.
+	Path string
+	// EveryEvents is the checkpoint cadence in event boundaries
+	// (default 4096).
+	EveryEvents uint64
+	// StopAfterEvents, when positive, halts the campaign with
+	// ErrStopped once that many events have been processed, writing a
+	// final checkpoint first if Path is set.
+	StopAfterEvents uint64
+}
+
+func (o CheckpointOptions) withDefaults() CheckpointOptions {
+	if o.EveryEvents == 0 {
+		o.EveryEvents = 4096
+	}
+	return o
+}
+
+// RunCheckpointed executes the campaign like Run, additionally writing
+// a checkpoint every opts.EveryEvents event boundaries.
+func RunCheckpointed(cfg Config, opts CheckpointOptions) (*Result, error) {
+	c, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.run(opts.withDefaults())
+}
+
+// Resume continues a campaign from the checkpoint at opts.Path,
+// written by an earlier RunCheckpointed with the same Config. A
+// corrupted or torn primary snapshot falls back to the previous good
+// one; because the campaign is deterministic, resuming from an older
+// boundary replays to the identical Result.
+func Resume(cfg Config, opts CheckpointOptions) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.Path == "" {
+		return nil, errors.New("loadgen: resume needs a checkpoint path")
+	}
+	version, payload, _, err := snapshot.Load(opts.Path)
+	if err != nil {
+		return nil, err
+	}
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("%w: checkpoint format v%d, this build reads v%d",
+			snapshot.ErrCorruptSnapshot, version, checkpointVersion)
+	}
+	c, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.restoreState(snapshot.NewDecoder(payload)); err != nil {
+		return nil, err
+	}
+	return c.run(opts)
+}
+
+// maybeCheckpoint writes a snapshot when the current event boundary is
+// on the cadence, or when the campaign is about to stop there.
+func (c *campaign) maybeCheckpoint(opts CheckpointOptions) error {
+	if opts.Path == "" {
+		return nil
+	}
+	due := c.processed%opts.EveryEvents == 0
+	stopping := opts.StopAfterEvents > 0 && c.processed >= opts.StopAfterEvents
+	if !due && !stopping {
+		return nil
+	}
+	return snapshot.Write(opts.Path, checkpointVersion, c.encodeState())
+}
+
+// configDigest encodes every campaign field that shapes the event
+// stream (the controller's own config digest travels inside its
+// nested state). Resume compares byte-for-byte.
+func (c *campaign) configDigest() []byte {
+	var e snapshot.Encoder
+	cfg := c.cfg
+	e.U64(cfg.Seed)
+	e.Int(cfg.Agents)
+	e.Int(cfg.ArrivalsPerAgent)
+	snapshot.Unit(&e, cfg.MeanInterarrival)
+	snapshot.Unit(&e, cfg.MeanHold)
+	e.Int(cfg.Width)
+	snapshot.Unit(&e, cfg.Deadline)
+	snapshot.Unit(&e, cfg.Backoff.Base)
+	e.F64(cfg.Backoff.Factor)
+	snapshot.Unit(&e, cfg.Backoff.Cap)
+	e.F64(cfg.Backoff.Jitter)
+	e.Int(cfg.Backoff.MaxRetries)
+	for _, m := range cfg.Rates.MTBF {
+		snapshot.Unit(&e, m)
+	}
+	e.F64(cfg.Rates.WaveguideLossDB)
+	return e.Bytes()
+}
+
+// encodeState serializes the full campaign at an event boundary.
+func (c *campaign) encodeState() []byte {
+	var e snapshot.Encoder
+	e.String(string(c.configDigest()))
+	c.srv.EncodeState(&e)
+
+	e.Len(len(c.agents))
+	for _, ag := range c.agents {
+		for _, w := range ag.r.State() {
+			e.U64(w)
+		}
+		e.Int(ag.issued)
+	}
+
+	e.Len(len(c.sessions))
+	ids := make([]int, 0, len(c.sessions))
+	for id := range c.sessions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s := c.sessions[id]
+		e.Int(id)
+		e.Int(s.agent)
+		e.Int(s.a)
+		e.Int(s.b)
+		e.Int(s.width)
+		e.Int(int(s.phase))
+		snapshot.Unit(&e, s.firstAt)
+		e.Int(s.circuit)
+		e.Int(s.grantWidth)
+		snapshot.Unit(&e, s.openedAt)
+	}
+
+	// The event heap travels in its raw array layout, so the restored
+	// heap pops in exactly the original order.
+	e.Len(len(c.events))
+	for _, ev := range c.events {
+		snapshot.Unit(&e, ev.at)
+		e.Int(ev.seq)
+		e.Int(int(ev.kind))
+		e.Int(ev.agent)
+		e.Int(ev.session)
+		e.Int(ev.attempt)
+		e.Int(ev.fault)
+	}
+	e.Int(c.seq)
+	e.U64(c.processed)
+	e.Int(c.nextSession)
+
+	c.quant.EncodeState(&e)
+	e.Int(c.requests)
+	e.Int(c.attempts)
+	e.Int(c.retries)
+	e.Int(c.lost)
+	e.Int(c.leaked)
+	e.F64(c.goodputWS)
+	return e.Bytes()
+}
+
+// restoreState replays a checkpoint payload into a freshly built
+// campaign skeleton.
+func (c *campaign) restoreState(d *snapshot.Decoder) error {
+	if digest := d.String(); d.Err() == nil && digest != string(c.configDigest()) {
+		return ctrl.ErrConfigMismatch
+	}
+	if err := c.srv.RestoreState(d); err != nil {
+		return err
+	}
+
+	if n := d.Len(); d.Err() == nil && n != len(c.agents) {
+		return fmt.Errorf("%w: checkpoint has %d agents, config says %d",
+			snapshot.ErrCorruptSnapshot, n, len(c.agents))
+	}
+	for _, ag := range c.agents {
+		var st [4]uint64
+		for i := range st {
+			st[i] = d.U64()
+		}
+		ag.r.SetState(st)
+		ag.issued = d.Int()
+		if d.Err() == nil && (ag.issued < 0 || ag.issued > c.cfg.ArrivalsPerAgent) {
+			return fmt.Errorf("%w: agent issued %d of %d arrivals",
+				snapshot.ErrCorruptSnapshot, ag.issued, c.cfg.ArrivalsPerAgent)
+		}
+	}
+
+	n := d.Len()
+	for i := 0; i < n && d.Err() == nil; i++ {
+		id := d.Int()
+		s := &session{
+			agent: d.Int(),
+			a:     d.Int(),
+			b:     d.Int(),
+			width: d.Int(),
+		}
+		ph := d.Int()
+		if ph < int(phaseEstablish) || ph > int(phaseRelease) {
+			return fmt.Errorf("%w: session %d in unknown phase %d", snapshot.ErrCorruptSnapshot, id, ph)
+		}
+		s.phase = phase(ph)
+		s.firstAt = snapshot.DecodeUnit[unit.Seconds](d)
+		s.circuit = d.Int()
+		s.grantWidth = d.Int()
+		s.openedAt = snapshot.DecodeUnit[unit.Seconds](d)
+		if s.agent < 0 || s.agent >= len(c.agents) {
+			return fmt.Errorf("%w: session %d owned by unknown agent %d",
+				snapshot.ErrCorruptSnapshot, id, s.agent)
+		}
+		if _, dup := c.sessions[id]; dup {
+			return fmt.Errorf("%w: duplicate session %d", snapshot.ErrCorruptSnapshot, id)
+		}
+		c.sessions[id] = s
+		if s.phase != phaseEstablish && s.circuit >= 0 {
+			if _, ok := c.srv.Allocator().CircuitByID(s.circuit); !ok {
+				return fmt.Errorf("%w: session %d references unknown circuit %d",
+					snapshot.ErrCorruptSnapshot, id, s.circuit)
+			}
+			if _, dup := c.byCircuit[s.circuit]; dup {
+				return fmt.Errorf("%w: circuit %d owned by two sessions", snapshot.ErrCorruptSnapshot, s.circuit)
+			}
+			c.byCircuit[s.circuit] = id
+		}
+	}
+
+	c.events = c.events[:0]
+	n = d.Len()
+	for i := 0; i < n && d.Err() == nil; i++ {
+		ev := event{
+			at:      snapshot.DecodeUnit[unit.Seconds](d),
+			seq:     d.Int(),
+			kind:    evKind(d.Int()),
+			agent:   d.Int(),
+			session: d.Int(),
+			attempt: d.Int(),
+			fault:   d.Int(),
+		}
+		if ev.kind < evArrival || ev.kind > evFault {
+			return fmt.Errorf("%w: event of unknown kind %d", snapshot.ErrCorruptSnapshot, int(ev.kind))
+		}
+		if ev.kind == evFault && (ev.fault < 0 || ev.fault >= len(c.schedule)) {
+			return fmt.Errorf("%w: fault event %d outside schedule of %d",
+				snapshot.ErrCorruptSnapshot, ev.fault, len(c.schedule))
+		}
+		c.events = append(c.events, ev)
+	}
+	c.seq = d.Int()
+	c.processed = d.U64()
+	c.nextSession = d.Int()
+
+	if err := c.quant.RestoreState(d); err != nil {
+		return err
+	}
+	c.requests = d.Int()
+	c.attempts = d.Int()
+	c.retries = d.Int()
+	c.lost = d.Int()
+	c.leaked = d.Int()
+	c.goodputWS = d.F64()
+	return d.Finish()
+}

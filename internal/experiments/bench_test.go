@@ -170,6 +170,48 @@ func BenchmarkRailFabricPar(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*float64(res.Flows)), "ns/flow")
 }
 
+// The ControllerServe pair measures the lightpath-controller load
+// campaign sampled at 2 trials (256k requests through the full
+// deadline/retry/breaker/degrade ladder). The paper metric is the
+// worst per-trial p99 setup latency — a seed-deterministic simulation
+// quantity — and ns/request normalizes the serving cost by the
+// attempt count (retries and releases included) as a timing metric.
+
+func BenchmarkControllerServeSeq(b *testing.B) {
+	benchSequential(b)
+	var res ControllerResult
+	run := func() error {
+		var err error
+		res, err = ControllerWithOptions(2024, ControllerOptions{Trials: 2})
+		return err
+	}
+	warmup(b, run)
+	for i := 0; i < b.N; i++ {
+		if err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.WorstP99us, "ctrl_p99_us")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*float64(res.Attempts)), "ns/request")
+}
+
+func BenchmarkControllerServePar(b *testing.B) {
+	var res ControllerResult
+	run := func() error {
+		var err error
+		res, err = ControllerWithOptions(2024, ControllerOptions{Trials: 2})
+		return err
+	}
+	warmup(b, run)
+	for i := 0; i < b.N; i++ {
+		if err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.WorstP99us, "ctrl_p99_us")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*float64(res.Attempts)), "ns/request")
+}
+
 func BenchmarkScheduler(b *testing.B) {
 	var res SchedulerResult
 	warmup(b, func() error { _, err := Scheduler(1, 12); return err })

@@ -3,6 +3,7 @@ package route
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"lightpath/internal/phy"
 	"lightpath/internal/rng"
@@ -154,15 +155,21 @@ func (a *Allocator) trackFiber(ref wafer.FiberRef, delta int) {
 func (a *Allocator) Rack() *wafer.Rack { return a.rack }
 
 // Circuits returns the currently established circuits in ID order.
+// The cost scales with the live circuit count, not with how many IDs
+// have ever been issued — long-running owners (the controller daemon)
+// call this from every audit pass.
 func (a *Allocator) Circuits() []*Circuit {
 	out := make([]*Circuit, 0, len(a.circuits))
-	for id := 0; id < a.nextID; id++ {
-		if c, ok := a.circuits[id]; ok {
-			out = append(out, c)
-		}
+	for _, c := range a.circuits {
+		out = append(out, c)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
+
+// NumCircuits returns the live circuit count without materializing
+// the sorted slice.
+func (a *Allocator) NumCircuits() int { return len(a.circuits) }
 
 // planStep is one bus span a candidate path wants.
 type planStep struct {
