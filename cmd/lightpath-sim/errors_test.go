@@ -115,7 +115,7 @@ func TestErrorTaxonomyFromTheTop(t *testing.T) {
 		{
 			name:     "deadline tighter than service",
 			sentinel: ctrl.ErrDeadlineExceeded,
-			context:  "budget",
+			context:  "exceeds deadline",
 			trigger: func(t *testing.T) error {
 				s, err := ctrl.NewServer(ctrl.Config{Seed: 1})
 				if err != nil {
@@ -133,7 +133,7 @@ func TestErrorTaxonomyFromTheTop(t *testing.T) {
 		{
 			name:     "breaker fences a dead chip",
 			sentinel: ctrl.ErrBreakerOpen,
-			context:  "until t=",
+			context:  "cooling down",
 			trigger: func(t *testing.T) error {
 				s, err := ctrl.NewServer(ctrl.Config{
 					Seed:    1,

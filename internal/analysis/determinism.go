@@ -193,8 +193,10 @@ func appendSink(pass *Pass, call *ast.CallExpr, scope *ast.BlockStmt) string {
 	return "an append whose result is never sorted"
 }
 
-// sliceIsSorted reports whether obj appears as an argument to a
-// sort.* or slices.Sort* call anywhere in scope.
+// sliceIsSorted reports whether obj appears in an argument to a
+// sort.* or slices.Sort* call anywhere in scope. The ident may be
+// nested — sort.Sort(byID(dst[start:])) sorts dst's appended tail just
+// as surely as sort.Slice(dst, ...) sorts the whole.
 func sliceIsSorted(pass *Pass, obj types.Object, scope *ast.BlockStmt) bool {
 	sorted := false
 	ast.Inspect(scope, func(n ast.Node) bool {
@@ -214,9 +216,12 @@ func sliceIsSorted(pass *Pass, obj types.Object, scope *ast.BlockStmt) bool {
 			return true
 		}
 		for _, arg := range call.Args {
-			if id, ok := arg.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
-				sorted = true
-			}
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+					sorted = true
+				}
+				return !sorted
+			})
 		}
 		return true
 	})

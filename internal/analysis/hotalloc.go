@@ -37,7 +37,12 @@ var Hotalloc = &Analyzer{
 }
 
 // hotloopDirective is the marker comment, written verbatim on its own
-// line immediately above a for or range statement.
+// line immediately above a for or range statement — or immediately
+// above a func declaration (typically as the last line of its doc
+// comment), which marks the entire function body as a hot region. The
+// func-level form exists for per-request serve paths like the
+// controller's Submit, where the whole body runs at request rate and a
+// loop-granular mark would miss straight-line allocations.
 const hotloopDirective = "//lightpath:hotloop"
 
 func runHotalloc(pass *Pass) error {
@@ -57,15 +62,17 @@ func runHotalloc(pass *Pass) error {
 		evidence := sliceAllocEvidence(pass, file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			var body *ast.BlockStmt
-			switch loop := n.(type) {
+			switch node := n.(type) {
 			case *ast.ForStmt:
-				body = loop.Body
+				body = node.Body
 			case *ast.RangeStmt:
-				body = loop.Body
+				body = node.Body
+			case *ast.FuncDecl:
+				body = node.Body
 			default:
 				return true
 			}
-			if !marked[pass.Fset.Position(n.Pos()).Line-1] {
+			if body == nil || !marked[pass.Fset.Position(n.Pos()).Line-1] {
 				return true
 			}
 			checkHotLoopBody(pass, body, evidence)

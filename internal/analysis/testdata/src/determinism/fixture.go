@@ -50,6 +50,25 @@ func SortedKeys(m map[string]int) []string {
 	return out
 }
 
+// byLen orders strings by length for AppendSortedTail.
+type byLen []string
+
+func (s byLen) Len() int           { return len(s) }
+func (s byLen) Less(i, j int) bool { return len(s[i]) < len(s[j]) }
+func (s byLen) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// AppendSortedTail appends in map iteration order but sorts the
+// appended tail through a typed conversion of a subslice: the slice
+// ident is nested inside the sort argument, still deterministic.
+func AppendSortedTail(m map[string]int, dst []string) []string {
+	start := len(dst)
+	for k := range m {
+		dst = append(dst, k)
+	}
+	sort.Sort(byLen(dst[start:]))
+	return dst
+}
+
 // Sum accumulates floats in map iteration order, so the rounding of
 // the total depends on the order.
 func Sum(m map[string]float64) float64 {

@@ -90,3 +90,27 @@ func cold(n int) []int {
 	}
 	return out
 }
+
+// hotFunc is a func-level mark: the directive above the declaration
+// arms the check for the whole body, straight-line code included.
+//
+//lightpath:hotloop
+func hotFunc(scratch []byte, n int) []byte {
+	buf := make([]byte, n) // want `make allocates inside a hot loop`
+	p := new(int)          // want `new allocates inside a hot loop`
+	out := scratch[:0]
+	out = append(out, buf[:*p]...)
+	return out
+}
+
+// hotFuncClean is func-level marked but only reuses scratch capacity:
+// nothing to flag.
+//
+//lightpath:hotloop
+func hotFuncClean(scratch []int, n int) []int {
+	out := scratch[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -108,14 +108,16 @@ func (b *Breaker) Allow(now unit.Seconds) error {
 		return nil
 	case BreakerOpen:
 		if now < b.openedAt+b.cfg.Cooldown {
-			return fmt.Errorf("%w: until t=%v", ErrBreakerOpen, b.openedAt+b.cfg.Cooldown)
+			// Static: an open breaker rejects every request of the cooldown
+			// window, so this path is far too hot for a formatted error.
+			return errBreakerCooling
 		}
 		b.state = BreakerHalfOpen
 		b.probes = 0
 		fallthrough
 	default: // BreakerHalfOpen
 		if b.probes >= b.cfg.HalfOpenProbes {
-			return fmt.Errorf("%w: half-open probe quota reached", ErrBreakerOpen)
+			return errBreakerProbing
 		}
 		b.probes++
 		return nil

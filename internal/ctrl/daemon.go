@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"lightpath/internal/chaos"
+	"lightpath/internal/snapshot"
 	"lightpath/internal/unit"
 )
 
@@ -106,10 +107,20 @@ func (h *Handler) Stats() Stats {
 // (returns nil) or a frame fails to parse (closes the connection and
 // returns the ErrBadFrame-wrapped cause: a hostile peer costs one
 // connection, never a wedged controller).
+//
+// Hot-marked: this loop runs once per request for a connection's whole
+// lifetime, so all wire I/O must go through the connection's frameIO
+// scratch rather than fresh buffers.
+//
+//lightpath:hotloop
 func (h *Handler) ServeConn(conn net.Conn) error {
 	defer func() { _ = conn.Close() }()
+	// Per-connection I/O state: the read buffer, payload encoder and
+	// frame buffer are threaded through every iteration, so a settled
+	// connection serves requests without allocating.
+	var fio frameIO
 	for {
-		payload, err := ReadFrame(conn)
+		payload, err := fio.read(conn)
 		if errors.Is(err, io.EOF) {
 			return nil
 		}
@@ -121,10 +132,39 @@ func (h *Handler) ServeConn(conn net.Conn) error {
 			return err
 		}
 		resp := h.Submit(req)
-		if err := WriteFrame(conn, EncodeResponse(resp)); err != nil {
+		fio.enc.Reset()
+		EncodeResponseTo(&fio.enc, resp)
+		if err := fio.write(conn); err != nil {
 			return err
 		}
 	}
+}
+
+// frameIO is one connection's reusable wire-I/O state: a frame read
+// buffer, a payload encoder, and a frame write buffer. The zero value
+// is ready; each buffer settles at the largest frame the connection
+// has seen and is reused thereafter.
+type frameIO struct {
+	rbuf  []byte
+	enc   snapshot.Encoder
+	frame []byte
+}
+
+// read returns the next frame's payload, which aliases the read buffer
+// and is valid until the next read call.
+func (f *frameIO) read(r io.Reader) ([]byte, error) {
+	payload, buf, err := readFrameReuse(r, f.rbuf)
+	f.rbuf = buf
+	return payload, err
+}
+
+// write frames the encoder's current payload and writes it in one call.
+func (f *frameIO) write(w io.Writer) error {
+	f.frame = AppendFrame(f.frame[:0], f.enc.Bytes())
+	if _, err := w.Write(f.frame); err != nil {
+		return fmt.Errorf("ctrl: write frame: %w", err)
+	}
+	return nil
 }
 
 // Serve accepts connections until the listener closes, answering each
@@ -155,6 +195,7 @@ type Client struct {
 	mu   sync.Mutex
 	conn io.ReadWriter
 	next uint64
+	fio  frameIO // reusable wire buffers, guarded by mu
 }
 
 // NewClient wraps an established connection.
@@ -168,10 +209,12 @@ func (c *Client) Call(req Request) (Response, error) {
 	defer c.mu.Unlock()
 	c.next++
 	req.ID = c.next
-	if err := WriteFrame(c.conn, EncodeRequest(req)); err != nil {
+	c.fio.enc.Reset()
+	EncodeRequestTo(&c.fio.enc, req)
+	if err := c.fio.write(c.conn); err != nil {
 		return Response{}, err
 	}
-	payload, err := ReadFrame(c.conn)
+	payload, err := c.fio.read(c.conn)
 	if err != nil {
 		return Response{}, err
 	}

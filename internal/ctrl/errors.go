@@ -28,7 +28,10 @@
 //     interface never changes shape while the fabric degrades.
 package ctrl
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // ErrOverloaded reports that the controller's bounded request queue is
 // full and the request was shed at admission. Clients should back off
@@ -45,6 +48,14 @@ var ErrDeadlineExceeded = errors.New("ctrl: request deadline exceeded")
 // instead of burning allocator work on a region that is currently
 // unroutable.
 var ErrBreakerOpen = errors.New("ctrl: region circuit breaker open")
+
+// Preallocated Allow rejections: a tripped breaker turns away every
+// request in its cooldown window, so these fire at full request rate.
+// Both wrap ErrBreakerOpen for errors.Is.
+var (
+	errBreakerCooling = fmt.Errorf("%w: cooling down", ErrBreakerOpen)
+	errBreakerProbing = fmt.Errorf("%w: half-open probe quota reached", ErrBreakerOpen)
+)
 
 // ErrBadFrame reports a malformed wire-protocol frame: truncated,
 // oversized, carrying an unknown message type, or failing the payload

@@ -12,7 +12,6 @@
 package loadgen
 
 import (
-	"container/heap"
 	"fmt"
 
 	"lightpath/internal/chaos"
@@ -116,6 +115,9 @@ type Result struct {
 	// Violations is the invariant auditor's violation count (must be
 	// zero; Run also returns an error when it is not).
 	Violations int
+	// CacheHits and CacheMisses are the allocator's route-plan cache
+	// counters at campaign end.
+	CacheHits, CacheMisses uint64
 }
 
 // event kinds, in tie-break order within an instant only by seq — the
@@ -143,12 +145,16 @@ type event struct {
 	fault   int
 }
 
-// eventHeap orders events by time, ties broken by issue sequence.
+// eventHeap orders events by time, ties broken by issue sequence. It
+// is a typed min-heap whose sift-up/sift-down replicate
+// container/heap's algorithms exactly — the checkpoint serializes the
+// heap in its raw array layout, and the pop order feeds every golden
+// CSV, so the layout must stay bit-identical to the boxed
+// implementation this replaces (which cost two interface allocations
+// per event).
 type eventHeap []event
 
-func (h eventHeap) Len() int      { return len(h) }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at < h[j].at {
 		return true
 	}
@@ -157,12 +163,47 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
+
+// push appends the event and sifts it up (container/heap's Push+up).
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	j := len(s) - 1
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+// pop removes and returns the minimum event (container/heap's
+// Pop: swap root to the end, sift the new root down over the
+// shortened prefix, take the former root off the end).
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && s.less(j2, j1) {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	ev := s[n]
+	*h = s[:n]
 	return ev
 }
 
@@ -284,7 +325,7 @@ func build(cfg Config) (*campaign, error) {
 func (c *campaign) push(ev event) {
 	ev.seq = c.seq
 	c.seq++
-	heap.Push(&c.events, ev)
+	c.events.push(ev)
 }
 
 // Run executes the campaign to completion. The returned error is
@@ -298,7 +339,7 @@ func Run(cfg Config) (*Result, error) {
 // run drains the event heap, checkpointing at the configured cadence.
 func (c *campaign) run(opts CheckpointOptions) (*Result, error) {
 	for len(c.events) > 0 {
-		ev := heap.Pop(&c.events).(event)
+		ev := c.events.pop()
 		switch ev.kind {
 		case evArrival:
 			c.onArrival(ev)
@@ -494,6 +535,8 @@ func (c *campaign) result() (*Result, error) {
 		Horizon:         horizon,
 		Events:          c.processed,
 		Violations:      c.srv.Auditor().Count(),
+		CacheHits:       st.PlanCacheHits,
+		CacheMisses:     st.PlanCacheMisses,
 	}
 	if c.quant.Count() > 0 {
 		r.P50us = c.quant.Query(0.5)

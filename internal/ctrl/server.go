@@ -8,6 +8,7 @@ import (
 	"lightpath/internal/invariant"
 	"lightpath/internal/rng"
 	"lightpath/internal/route"
+	"lightpath/internal/snapshot"
 	"lightpath/internal/unit"
 	"lightpath/internal/wafer"
 )
@@ -103,6 +104,11 @@ type Stats struct {
 	// transparently rerouted (RerouteDegraded of them at reduced
 	// width), and circuits lost outright.
 	FaultsApplied, Reroutes, RerouteDegraded, RerouteFailed, CircuitsLost int
+	// PlanCacheHits and PlanCacheMisses mirror the allocator's
+	// route-plan cache counters. They are read live from the allocator
+	// by Stats (the allocator also checkpoints them), not accumulated
+	// here.
+	PlanCacheHits, PlanCacheMisses uint64
 }
 
 // Server is the controller core: a deterministic, virtual-time request
@@ -118,6 +124,14 @@ type Server struct {
 	now       unit.Seconds   // virtual clock: latest observed event time
 	busyUntil unit.Seconds   // when all admitted work completes
 	pending   []unit.Seconds // completion times of admitted, unfinished work
+
+	// regionScratch backs health responses' Regions slice; see Submit.
+	regionScratch []RegionHealth
+	// ckptEnc is SaveCheckpoint's reusable payload encoder.
+	ckptEnc snapshot.Encoder
+	// queueFullDetail is the precomputed shed message — shedding happens
+	// at full arrival rate during overload, too hot for Sprintf.
+	queueFullDetail string
 
 	stats Stats
 }
@@ -143,6 +157,7 @@ func NewServer(cfg Config) (*Server, error) {
 	for i := range s.breakers {
 		s.breakers[i] = NewBreaker(cfg.Breaker)
 	}
+	s.queueFullDetail = fmt.Sprintf("queue full (cap %d)", cfg.QueueCap)
 	return s, nil
 }
 
@@ -150,7 +165,11 @@ func NewServer(cfg Config) (*Server, error) {
 func (s *Server) Config() Config { return s.cfg }
 
 // Stats returns a copy of the lifetime counters.
-func (s *Server) Stats() Stats { return s.stats }
+func (s *Server) Stats() Stats {
+	st := s.stats
+	st.PlanCacheHits, st.PlanCacheMisses = s.alloc.PlanCacheStats()
+	return st
+}
 
 // Auditor returns the invariant auditor watching the allocator.
 func (s *Server) Auditor() *invariant.Auditor { return s.aud }
@@ -194,6 +213,13 @@ func (s *Server) AdvanceTo(t unit.Seconds) {
 // (clamped to the clock — arrivals are processed in time order) and
 // returns the response together with the request's completion time.
 // Rejected requests complete at their arrival instant.
+//
+// The whole body runs at request rate, so it is hot-marked: every
+// buffer it touches must be server-owned scratch, and every rejection
+// Detail a precomputed string. Only the cold validate/setup-fallback
+// paths (out of the marked body) may format.
+//
+//lightpath:hotloop
 func (s *Server) Submit(req Request, arrival unit.Seconds) (Response, unit.Seconds) {
 	s.AdvanceTo(arrival)
 	arrival = s.now
@@ -206,8 +232,11 @@ func (s *Server) Submit(req Request, arrival unit.Seconds) (Response, unit.Secon
 		s.stats.Served++
 		resp.Status = StatusOK
 		resp.Queue = len(s.pending)
-		resp.Circuits = len(s.alloc.Circuits())
-		resp.Regions = make([]RegionHealth, len(s.breakers))
+		resp.Circuits = s.alloc.NumCircuits()
+		// The response aliases server-owned scratch, valid until the next
+		// Submit — the serialize-before-next-request contract every
+		// transport (Handler encodes immediately) already satisfies.
+		resp.Regions = s.regions(len(s.breakers))
 		for i, b := range s.breakers {
 			resp.Regions[i] = RegionHealth{State: b.State(), Trips: b.Trips()}
 		}
@@ -232,7 +261,7 @@ func (s *Server) Submit(req Request, arrival unit.Seconds) (Response, unit.Secon
 	if req.Op != OpRelease && len(s.pending) >= s.cfg.QueueCap {
 		s.stats.Shed++
 		resp.Status = StatusOverloaded
-		resp.Detail = fmt.Sprintf("queue %d full", len(s.pending))
+		resp.Detail = s.queueFullDetail
 		return resp, arrival
 	}
 
@@ -248,7 +277,9 @@ func (s *Server) Submit(req Request, arrival unit.Seconds) (Response, unit.Secon
 	if req.Deadline > 0 && finish-arrival > req.Deadline {
 		s.stats.DeadlineMiss++
 		resp.Status = StatusDeadline
-		resp.Detail = fmt.Sprintf("needs %v, budget %v", finish-arrival, req.Deadline)
+		// Static: under backlog every deadline-bearing arrival misses, and
+		// the caller's own request carries the budget it quoted.
+		resp.Detail = "queue wait plus service time exceeds deadline"
 		return resp, arrival
 	}
 
@@ -261,7 +292,14 @@ func (s *Server) Submit(req Request, arrival unit.Seconds) (Response, unit.Secon
 		if err := brk.Allow(start); err != nil {
 			s.stats.BreakerRejects++
 			resp.Status = StatusBreakerOpen
-			resp.Detail = err.Error()
+			// The status already names the sentinel; the detail carries
+			// only the phase, so the client-side rewrap (Response.Err)
+			// does not repeat "circuit breaker open" twice.
+			if err == errBreakerCooling { //nolint:errorlint // comparing preallocated statics
+				resp.Detail = "cooling down"
+			} else {
+				resp.Detail = "half-open probe quota reached"
+			}
 			return resp, arrival
 		}
 	}
@@ -277,7 +315,8 @@ func (s *Server) Submit(req Request, arrival unit.Seconds) (Response, unit.Secon
 			route.Request{A: req.A, B: req.B, Width: req.Width}, start)
 		if err != nil {
 			brk.Failure(start)
-			resp.Status, resp.Detail = statusOf(err), err.Error()
+			resp.Status = statusOf(err)
+			resp.Detail = setupDetail(resp.Status, err)
 			s.countSetupFailure(err)
 			return resp, finish
 		}
@@ -308,7 +347,8 @@ func (s *Server) Submit(req Request, arrival unit.Seconds) (Response, unit.Secon
 			route.Request{A: c.A, B: c.B, Width: want}, start)
 		if err != nil {
 			brk.Failure(start)
-			resp.Status, resp.Detail = statusOf(err), err.Error()
+			resp.Status = statusOf(err)
+			resp.Detail = setupDetail(resp.Status, err)
 			s.countSetupFailure(err)
 			return resp, finish
 		}
@@ -323,6 +363,16 @@ func (s *Server) Submit(req Request, arrival unit.Seconds) (Response, unit.Secon
 		resp.Degraded = degraded
 		return resp, finish
 	}
+}
+
+// regions returns the server-owned health scratch resized to n,
+// growing the backing array only when a larger fleet appears (in
+// practice: once, on the first health probe).
+func (s *Server) regions(n int) []RegionHealth {
+	if cap(s.regionScratch) < n {
+		s.regionScratch = make([]RegionHealth, n)
+	}
+	return s.regionScratch[:n]
 }
 
 // validate classifies semantically invalid requests before they cost
@@ -381,6 +431,23 @@ func (s *Server) countSetupFailure(err error) {
 		s.stats.EndpointFailed++
 	} else {
 		s.stats.NoPath++
+	}
+}
+
+// setupDetail picks the response detail for an allocator setup
+// failure. The two steady-state classes get static strings — on a
+// saturated fabric a failed establish is the common case, and the
+// allocator's no-path error formats its message lazily precisely so
+// nobody pays for text that only names the class. Unclassified errors
+// are rare and keep their full text.
+func setupDetail(st Status, err error) string {
+	switch st {
+	case StatusNoPath:
+		return "no feasible circuit path"
+	case StatusEndpointFailed:
+		return "circuit endpoint chip has failed"
+	default:
+		return err.Error()
 	}
 }
 

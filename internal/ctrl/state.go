@@ -137,11 +137,14 @@ func (s *Server) RestoreState(d *snapshot.Decoder) error {
 }
 
 // SaveCheckpoint atomically writes the server's state to path, keeping
-// the previous good snapshot beside it for torn-write fallback.
+// the previous good snapshot beside it for torn-write fallback. The
+// encoder is owned by the server and reused across checkpoints, so a
+// periodic-durability cadence does not re-grow a megabyte-scale buffer
+// every interval.
 func (s *Server) SaveCheckpoint(path string) error {
-	var e snapshot.Encoder
-	s.EncodeState(&e)
-	return snapshot.Write(path, CheckpointVersion, e.Bytes())
+	s.ckptEnc.Reset()
+	s.EncodeState(&s.ckptEnc)
+	return snapshot.Write(path, CheckpointVersion, s.ckptEnc.Bytes())
 }
 
 // LoadCheckpoint builds a server from cfg and restores the checkpoint

@@ -175,14 +175,21 @@ func (r Response) Err() error {
 // EncodeRequest serializes a request payload.
 func EncodeRequest(req Request) []byte {
 	var e snapshot.Encoder
+	EncodeRequestTo(&e, req)
+	return e.Bytes()
+}
+
+// EncodeRequestTo appends the request payload to e. Long-lived callers
+// (the client's call loop) Reset and reuse one encoder so steady-state
+// encoding allocates nothing.
+func EncodeRequestTo(e *snapshot.Encoder, req Request) {
 	e.U64(req.ID)
 	e.Int(int(req.Op))
 	e.Int(req.A)
 	e.Int(req.B)
 	e.Int(req.Width)
 	e.Int(req.Circuit)
-	snapshot.Unit(&e, req.Deadline)
-	return e.Bytes()
+	snapshot.Unit(e, req.Deadline)
 }
 
 // DecodeRequest parses a request payload. Malformed payloads return an
@@ -210,6 +217,14 @@ func DecodeRequest(payload []byte) (Request, error) {
 // EncodeResponse serializes a response payload.
 func EncodeResponse(resp Response) []byte {
 	var e snapshot.Encoder
+	EncodeResponseTo(&e, resp)
+	return e.Bytes()
+}
+
+// EncodeResponseTo appends the response payload to e. Long-lived
+// callers (the handler's serve loop) Reset and reuse one encoder so
+// steady-state encoding allocates nothing.
+func EncodeResponseTo(e *snapshot.Encoder, resp Response) {
 	e.U64(resp.ID)
 	e.Int(int(resp.Status))
 	e.Int(resp.Circuit)
@@ -223,7 +238,6 @@ func EncodeResponse(resp Response) []byte {
 		e.Int(int(rg.State))
 		e.Int(rg.Trips)
 	}
-	return e.Bytes()
 }
 
 // DecodeResponse parses a response payload. Malformed payloads return
@@ -282,26 +296,39 @@ func WriteFrame(w io.Writer, payload []byte) error {
 }
 
 // ReadFrame reads one length-prefixed frame from r and returns its
-// payload. A clean end of stream (EOF before any header byte) returns
-// io.EOF; a truncated header or payload, or a length prefix beyond
-// MaxFrame, returns an error wrapping ErrBadFrame. The length is
-// validated before the payload buffer is allocated, so a hostile
-// prefix cannot drive a giant allocation.
+// payload in a fresh buffer. A clean end of stream (EOF before any
+// header byte) returns io.EOF; a truncated header or payload, or a
+// length prefix beyond MaxFrame, returns an error wrapping ErrBadFrame.
+// The length is validated before the payload buffer is allocated, so a
+// hostile prefix cannot drive a giant allocation.
 func ReadFrame(r io.Reader) ([]byte, error) {
+	payload, _, err := readFrameReuse(r, nil)
+	return payload, err
+}
+
+// readFrameReuse reads one frame into buf, growing it as needed, and
+// returns the payload (aliasing the buffer) plus the possibly-grown
+// buffer for the next call. Serve loops thread the buffer through so a
+// connection stops allocating once it has seen its largest frame. The
+// MaxFrame check still precedes sizing, bounding growth at 64 KiB.
+func readFrameReuse(r io.Reader, buf []byte) (payload, next []byte, err error) {
 	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) {
-			return nil, io.EOF
+			return nil, buf, io.EOF
 		}
-		return nil, fmt.Errorf("%w: truncated header: %w", ErrBadFrame, err)
+		return nil, buf, fmt.Errorf("%w: truncated header: %w", ErrBadFrame, err)
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return nil, fmt.Errorf("%w: length prefix %d exceeds MaxFrame %d", ErrBadFrame, n, MaxFrame)
+		return nil, buf, fmt.Errorf("%w: length prefix %d exceeds MaxFrame %d", ErrBadFrame, n, MaxFrame)
 	}
-	payload := make([]byte, n)
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("%w: truncated payload (%d declared): %w", ErrBadFrame, n, err)
+		return nil, buf, fmt.Errorf("%w: truncated payload (%d declared): %w", ErrBadFrame, n, err)
 	}
-	return payload, nil
+	return payload, buf, nil
 }

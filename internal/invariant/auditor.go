@@ -31,6 +31,9 @@ type Auditor struct {
 	audits    int
 	count     int
 	recorded  []Violation
+	// ctx is the audit loop's reusable working storage; a clean pass
+	// over a warm auditor allocates nothing.
+	ctx checkCtx
 }
 
 // Attach builds an auditor in the given mode and registers it as the
@@ -70,8 +73,9 @@ func (d *Auditor) Audit(op string) []Violation { return d.run(op) }
 func (d *Auditor) run(op string) []Violation {
 	d.audits++
 	var fresh []Violation
-	for _, inv := range registry {
-		for _, detail := range inv.Check(d.alloc) {
+	d.ctx.load(d.alloc)
+	for i, inv := range registry {
+		for _, detail := range checks[i](d.alloc, &d.ctx) {
 			fresh = append(fresh, Violation{Invariant: inv.Name, Op: op, Detail: detail})
 		}
 	}

@@ -20,10 +20,12 @@ package invariant
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"lightpath/internal/phy"
 	"lightpath/internal/route"
 	"lightpath/internal/unit"
+	"lightpath/internal/wafer"
 )
 
 // ErrViolated is the sentinel wrapped by every error the auditor
@@ -92,65 +94,206 @@ type Invariant struct {
 }
 
 // registry is ordered from structural to semantic checks; it is
-// immutable after init.
+// immutable after init. Each public Check builds a private scratch
+// context per call; the Auditor's audit loop shares one context
+// across checks and audits instead (see checks and Auditor.run).
 var registry = []Invariant{
 	{
 		Name:  "circuit-disjointness",
 		Doc:   "established circuits have positive width and share no bus segment or fiber pairwise",
-		Check: checkDisjointness,
+		Check: standalone(checkDisjointness),
 	},
 	{
 		Name:  "bus-conservation",
 		Doc:   "every circuit segment's exact span is allocated on its bus, and the rack's allocated span count equals the circuits' segment count",
-		Check: checkBusConservation,
+		Check: standalone(checkBusConservation),
 	},
 	{
 		Name:  "fiber-conservation",
 		Doc:   "every circuit fiber is occupied in the rack, the rack's occupied-fiber count equals the circuits' fiber count, and the allocator's per-row mirror matches",
-		Check: checkFiberConservation,
+		Check: standalone(checkFiberConservation),
 	},
 	{
 		Name:  "endpoint-conservation",
 		Doc:   "each tile's reserved lasers and SerDes ports equal the sum of circuit widths and endpoint count terminating there, and never exceed capacity",
-		Check: checkEndpointConservation,
+		Check: standalone(checkEndpointConservation),
 	},
 	{
 		Name:  "budget-health",
 		Doc:   "active circuits terminate at healthy chips, cross no severed span or failed fiber row, settle one reconfiguration latency after establishment, and (when budget checking is on) still close their optical budget",
-		Check: checkBudgetHealth,
+		Check: standalone(checkBudgetHealth),
 	},
 	{
 		Name:  "switch-consistency",
 		Doc:   "the hardware switch ports match the programming each circuit's segments require (endpoint switch 0 to port 0, turn switch 1 to port 1)",
-		Check: checkSwitchConsistency,
+		Check: standalone(checkSwitchConsistency),
 	},
+}
+
+// checks mirrors registry order with the scratch-context check
+// functions the Auditor calls directly.
+var checks = []func(a *route.Allocator, ctx *checkCtx) []string{
+	checkDisjointness,
+	checkBusConservation,
+	checkFiberConservation,
+	checkEndpointConservation,
+	checkBudgetHealth,
+	checkSwitchConsistency,
 }
 
 // Registry returns the registered invariants in audit order. The
 // returned slice is shared; callers must not modify it.
 func Registry() []Invariant { return registry }
 
-func checkDisjointness(a *route.Allocator) []string {
+// checkCtx is the reusable working storage of one audit pass: the
+// sorted circuit list every check walks, plus per-check sort and
+// tally buffers. An attached Auditor keeps one across audits so the
+// steady-state audit loop stops allocating; the public registry
+// builds a throwaway one per Check call.
+type checkCtx struct {
+	circuits []*route.Circuit
+	switches []route.SwitchExpectation
+	segs     []segOwner
+	fibs     []fibOwner
+	perRow   []int
+	lasers   []int
+	ports    []int
+}
+
+// load refreshes the sorted circuit list from the allocator.
+func (ctx *checkCtx) load(a *route.Allocator) {
+	ctx.circuits = a.AppendCircuits(ctx.circuits[:0])
+}
+
+// standalone adapts a scratch-context check to the public Check
+// signature, building a fresh context per call.
+func standalone(check func(a *route.Allocator, ctx *checkCtx) []string) func(a *route.Allocator) []string {
+	return func(a *route.Allocator) []string {
+		var ctx checkCtx
+		ctx.load(a)
+		return check(a, &ctx)
+	}
+}
+
+// segOwner tags a circuit's segment with its owner for the
+// disjointness sweep.
+type segOwner struct {
+	seg route.Segment
+	id  int
+}
+
+type segsByBus []segOwner
+
+func (s segsByBus) Len() int { return len(s) }
+func (s segsByBus) Less(i, j int) bool {
+	a, b := s[i].seg, s[j].seg
+	if a.Wafer != b.Wafer {
+		return a.Wafer < b.Wafer
+	}
+	if a.Ref.Orient != b.Ref.Orient {
+		return a.Ref.Orient < b.Ref.Orient
+	}
+	if a.Ref.Lane != b.Ref.Lane {
+		return a.Ref.Lane < b.Ref.Lane
+	}
+	if a.Ref.Bus != b.Ref.Bus {
+		return a.Ref.Bus < b.Ref.Bus
+	}
+	if a.Ref.Span.Lo != b.Ref.Span.Lo {
+		return a.Ref.Span.Lo < b.Ref.Span.Lo
+	}
+	return s[i].id < s[j].id
+}
+func (s segsByBus) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+
+func sameBus(a, b route.Segment) bool {
+	return a.Wafer == b.Wafer && a.Ref.Orient == b.Ref.Orient &&
+		a.Ref.Lane == b.Ref.Lane && a.Ref.Bus == b.Ref.Bus
+}
+
+// fibOwner tags a circuit's fiber with its owner for the sweep.
+type fibOwner struct {
+	fib wafer.FiberRef
+	id  int
+}
+
+type fibsByRef []fibOwner
+
+func (s fibsByRef) Len() int { return len(s) }
+func (s fibsByRef) Less(i, j int) bool {
+	a, b := s[i].fib, s[j].fib
+	if a.Trunk != b.Trunk {
+		return a.Trunk < b.Trunk
+	}
+	if a.Row != b.Row {
+		return a.Row < b.Row
+	}
+	if a.Fiber != b.Fiber {
+		return a.Fiber < b.Fiber
+	}
+	return s[i].id < s[j].id
+}
+func (s fibsByRef) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+
+func sharePair(out []string, a, b int) []string {
+	if b < a {
+		a, b = b, a
+	}
+	return append(out, fmt.Sprintf("circuits %d and %d share a bus segment or fiber", a, b))
+}
+
+// checkDisjointness verifies pairwise resource disjointness with one
+// sort-and-sweep pass per resource class instead of the former O(n²)
+// SharesResources walk: segments sorted by bus then span, adjacent
+// spans on the same bus checked for overlap against the running
+// farthest-reaching earlier span; fibers sorted and checked for
+// adjacent duplicates.
+func checkDisjointness(a *route.Allocator, ctx *checkCtx) []string {
 	var out []string
-	cs := a.Circuits()
-	for i, c := range cs {
+	ctx.segs = ctx.segs[:0]
+	ctx.fibs = ctx.fibs[:0]
+	for _, c := range ctx.circuits {
 		if c.Width < 1 {
 			out = append(out, fmt.Sprintf("circuit %d has non-positive width %d", c.ID, c.Width))
 		}
-		for _, o := range cs[i+1:] {
-			if c.SharesResources(o) {
-				out = append(out, fmt.Sprintf("circuits %d and %d share a bus segment or fiber", c.ID, o.ID))
-			}
+		for _, s := range c.Segments {
+			ctx.segs = append(ctx.segs, segOwner{seg: s, id: c.ID})
+		}
+		for _, f := range c.Fibers {
+			ctx.fibs = append(ctx.fibs, fibOwner{fib: f, id: c.ID})
+		}
+	}
+	sort.Sort(segsByBus(ctx.segs))
+	// reach is the earlier same-bus segment extending farthest right;
+	// any later segment starting at or before reach.Hi overlaps it.
+	var reach segOwner
+	for i, so := range ctx.segs {
+		if i == 0 || !sameBus(reach.seg, so.seg) {
+			reach = so
+			continue
+		}
+		if so.seg.Ref.Span.Lo <= reach.seg.Ref.Span.Hi && so.id != reach.id {
+			out = sharePair(out, reach.id, so.id)
+		}
+		if so.seg.Ref.Span.Hi > reach.seg.Ref.Span.Hi {
+			reach = so
+		}
+	}
+	sort.Sort(fibsByRef(ctx.fibs))
+	for i := 1; i < len(ctx.fibs); i++ {
+		prev, cur := ctx.fibs[i-1], ctx.fibs[i]
+		if prev.fib == cur.fib && prev.id != cur.id {
+			out = sharePair(out, prev.id, cur.id)
 		}
 	}
 	return out
 }
 
-func checkBusConservation(a *route.Allocator) []string {
+func checkBusConservation(a *route.Allocator, ctx *checkCtx) []string {
 	var out []string
 	rack := a.Rack()
 	segments := 0
-	for _, c := range a.Circuits() {
+	for _, c := range ctx.circuits {
 		segments += len(c.Segments)
 		for _, s := range c.Segments {
 			if !rack.Wafer(s.Wafer).BusSpanAllocated(s.Ref) {
@@ -168,27 +311,42 @@ func checkBusConservation(a *route.Allocator) []string {
 	return out
 }
 
-func checkFiberConservation(a *route.Allocator) []string {
+// grownZeroed returns buf resized to n with every element zero.
+func grownZeroed(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+func checkFiberConservation(a *route.Allocator, ctx *checkCtx) []string {
 	var out []string
 	rack := a.Rack()
 	cfg := rack.Config()
+	rows := cfg.Rows
+	ctx.perRow = grownZeroed(ctx.perRow, rack.NumTrunks()*rows)
 	fibers := 0
-	perRow := make(map[[2]int]int)
-	for _, c := range a.Circuits() {
+	for _, c := range ctx.circuits {
 		fibers += len(c.Fibers)
 		for _, f := range c.Fibers {
 			if !rack.FiberAllocated(f) {
 				out = append(out, fmt.Sprintf("circuit %d fiber %v is not occupied in the rack", c.ID, f))
 			}
-			perRow[[2]int{f.Trunk, f.Row}]++
+			if f.Trunk >= 0 && f.Trunk < rack.NumTrunks() && f.Row >= 0 && f.Row < rows {
+				ctx.perRow[f.Trunk*rows+f.Row]++
+			}
 		}
 	}
 	if used := rack.FibersInUse(); used != fibers {
 		out = append(out, fmt.Sprintf("rack holds %d occupied fibers but circuits account for %d (leak or double free)", used, fibers))
 	}
 	for trunk := 0; trunk < rack.NumTrunks(); trunk++ {
-		for row := 0; row < cfg.Rows; row++ {
-			if got, want := a.FiberRowUsage(trunk, row), perRow[[2]int{trunk, row}]; got != want {
+		for row := 0; row < rows; row++ {
+			if got, want := a.FiberRowUsage(trunk, row), ctx.perRow[trunk*rows+row]; got != want {
 				out = append(out, fmt.Sprintf("allocator mirror says trunk %d row %d uses %d fibers, circuits use %d", trunk, row, got, want))
 			}
 		}
@@ -196,27 +354,27 @@ func checkFiberConservation(a *route.Allocator) []string {
 	return out
 }
 
-func checkEndpointConservation(a *route.Allocator) []string {
+func checkEndpointConservation(a *route.Allocator, ctx *checkCtx) []string {
 	var out []string
 	rack := a.Rack()
-	type epUse struct{ lasers, ports int }
-	use := make(map[int]epUse)
-	for _, c := range a.Circuits() {
+	chips := rack.NumChips()
+	ctx.lasers = grownZeroed(ctx.lasers, chips)
+	ctx.ports = grownZeroed(ctx.ports, chips)
+	for _, c := range ctx.circuits {
 		for _, ep := range [2]int{c.A, c.B} {
-			u := use[ep]
-			u.lasers += c.Width
-			u.ports++
-			use[ep] = u
+			if ep >= 0 && ep < chips {
+				ctx.lasers[ep] += c.Width
+				ctx.ports[ep]++
+			}
 		}
 	}
-	for chip := 0; chip < rack.NumChips(); chip++ {
+	for chip := 0; chip < chips; chip++ {
 		t := rack.TileOf(chip)
-		want := use[chip]
-		if got := t.UsedLasers(); got != want.lasers {
-			out = append(out, fmt.Sprintf("chip %d tile (%d,%d) reserves %d lasers but circuit widths sum to %d", chip, t.Row, t.Col, got, want.lasers))
+		if got := t.UsedLasers(); got != ctx.lasers[chip] {
+			out = append(out, fmt.Sprintf("chip %d tile (%d,%d) reserves %d lasers but circuit widths sum to %d", chip, t.Row, t.Col, got, ctx.lasers[chip]))
 		}
-		if got := t.UsedPorts(); got != want.ports {
-			out = append(out, fmt.Sprintf("chip %d tile (%d,%d) reserves %d SerDes ports but %d circuits terminate there", chip, t.Row, t.Col, got, want.ports))
+		if got := t.UsedPorts(); got != ctx.ports[chip] {
+			out = append(out, fmt.Sprintf("chip %d tile (%d,%d) reserves %d SerDes ports but %d circuits terminate there", chip, t.Row, t.Col, got, ctx.ports[chip]))
 		}
 		if t.FreeLasers() < 0 {
 			out = append(out, fmt.Sprintf("chip %d tile (%d,%d) is over-committed: %d free lasers", chip, t.Row, t.Col, t.FreeLasers()))
@@ -228,10 +386,10 @@ func checkEndpointConservation(a *route.Allocator) []string {
 	return out
 }
 
-func checkBudgetHealth(a *route.Allocator) []string {
+func checkBudgetHealth(a *route.Allocator, ctx *checkCtx) []string {
 	var out []string
 	rack := a.Rack()
-	for _, c := range a.Circuits() {
+	for _, c := range ctx.circuits {
 		for _, ep := range [2]int{c.A, c.B} {
 			if !rack.TileOf(ep).ChipHealthy() {
 				out = append(out, fmt.Sprintf("circuit %d terminates at failed chip %d", c.ID, ep))
@@ -260,10 +418,11 @@ func checkBudgetHealth(a *route.Allocator) []string {
 	return out
 }
 
-func checkSwitchConsistency(a *route.Allocator) []string {
+func checkSwitchConsistency(a *route.Allocator, ctx *checkCtx) []string {
 	var out []string
-	for _, c := range a.Circuits() {
-		for _, se := range a.CircuitSwitches(c) {
+	for _, c := range ctx.circuits {
+		ctx.switches = a.AppendCircuitSwitches(ctx.switches[:0], c)
+		for _, se := range ctx.switches {
 			if got := se.Tile.Switches[se.Switch].Port(); got != se.Port {
 				out = append(out, fmt.Sprintf("circuit %d needs tile (%d,%d) switch %d on port %d, hardware says port %d",
 					c.ID, se.Tile.Row, se.Tile.Col, se.Switch, se.Port, got))

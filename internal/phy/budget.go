@@ -50,8 +50,10 @@ type LinkReport struct {
 	Feasible bool
 	// BER is the estimated bit error rate at the received power.
 	BER float64
-	// ByKind breaks the loss down per element kind.
-	ByKind map[LossKind]unit.Decibel
+	// ByKind breaks the loss down per element kind. It is a value
+	// (array, not map): copying a LinkReport copies the breakdown,
+	// and kinds that contributed nothing read as zero.
+	ByKind LossBreakdown
 }
 
 // String summarizes the report in one line.

@@ -302,8 +302,8 @@ func TestEvaluateNoLossElements(t *testing.T) {
 	if float64(rep.TotalLossDB) != 0 || rep.ReceivedPower != b.LaunchPower {
 		t.Fatalf("lossless link: loss=%v rx=%v", rep.TotalLossDB, rep.ReceivedPower)
 	}
-	if len(rep.ByKind) != 0 {
-		t.Fatalf("lossless link ByKind = %v, want empty", rep.ByKind)
+	if rep.ByKind != (LossBreakdown{}) || rep.ByKind.Total() != 0 {
+		t.Fatalf("lossless link ByKind = %v, want all-zero", rep.ByKind)
 	}
 	if math.Abs(float64(rep.MarginDB)-24) > 1e-12 {
 		t.Fatalf("margin = %v, want 24 dB", rep.MarginDB)

@@ -64,6 +64,10 @@ const (
 	// LossDefect is fault-induced degradation (a contaminated or
 	// delaminated waveguide region) injected by the chaos engine.
 	LossDefect
+
+	// NumLossKinds is the number of loss kinds; LossBreakdown is
+	// indexed by LossKind and sized by this.
+	NumLossKinds = int(LossDefect) + 1
 )
 
 var lossKindNames = [...]string{
@@ -200,10 +204,24 @@ func TotalLossDB(elements []LossElement) unit.Decibel {
 	return total
 }
 
+// LossBreakdown is a per-kind loss aggregate, indexed by LossKind. A
+// value type (no allocation, no aliasing): absent kinds read as zero,
+// exactly like the map it replaced.
+type LossBreakdown [NumLossKinds]unit.Decibel
+
+// Total sums the breakdown.
+func (b LossBreakdown) Total() unit.Decibel {
+	var total unit.Decibel
+	for _, v := range b {
+		total += v
+	}
+	return total
+}
+
 // LossByKind aggregates the per-kind contributions, useful for loss
 // breakdown reports.
-func LossByKind(elements []LossElement) map[LossKind]unit.Decibel {
-	out := make(map[LossKind]unit.Decibel)
+func LossByKind(elements []LossElement) LossBreakdown {
+	var out LossBreakdown
 	for _, e := range elements {
 		out[e.Kind] += e.DB
 	}

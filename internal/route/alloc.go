@@ -62,6 +62,12 @@ type Allocator struct {
 	// pathfinding hot path stops allocating per circuit. Nothing in it
 	// survives a call; clones start with fresh (zero) scratch.
 	scratch allocScratch
+	// plans memoizes candidatePlans per chip pair, invalidated by the
+	// fabric epoch (see plancache.go). Clones start cold.
+	plans planCache
+	// noPlanCache forces every Establish to re-derive plans from
+	// scratch; the differential tests use it as the reference arm.
+	noPlanCache bool
 }
 
 // allocScratch is the per-allocator reusable working storage of the
@@ -73,6 +79,8 @@ type allocScratch struct {
 	rows    []int
 	elems   []phy.LossElement
 	uses    []switchUse
+	segs    []Segment
+	fibers  []wafer.FiberRef
 }
 
 // nextPlan appends an empty plan slot to the scratch, recycling the
@@ -170,6 +178,25 @@ func (a *Allocator) Circuits() []*Circuit {
 // NumCircuits returns the live circuit count without materializing
 // the sorted slice.
 func (a *Allocator) NumCircuits() int { return len(a.circuits) }
+
+// byID orders circuits by ID for the append-style accessors.
+type byID []*Circuit
+
+func (s byID) Len() int           { return len(s) }
+func (s byID) Less(i, j int) bool { return s[i].ID < s[j].ID }
+func (s byID) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// AppendCircuits appends the established circuits to dst in ID order
+// and returns the extended slice. It is the allocation-free (given
+// capacity) form of Circuits for callers that audit on a hot path.
+func (a *Allocator) AppendCircuits(dst []*Circuit) []*Circuit {
+	start := len(dst)
+	for _, c := range a.circuits {
+		dst = append(dst, c)
+	}
+	sort.Sort(byID(dst[start:]))
+	return dst
+}
 
 // planStep is one bus span a candidate path wants.
 type planStep struct {
@@ -413,7 +440,8 @@ func (a *Allocator) Establish(req Request, now unit.Seconds) (*Circuit, error) {
 	}
 	a.beginOp()
 	defer a.endOp("establish")
-	plans := a.candidatePlans(req.A, req.B)
+	//lightpath:arena
+	plans := a.plansFor(req.A, req.B)
 	var lastErr error = ErrNoPath
 	for _, p := range plans {
 		c, err := a.commit(req, p, now)
@@ -423,17 +451,39 @@ func (a *Allocator) Establish(req Request, now unit.Seconds) (*Circuit, error) {
 		lastErr = err
 	}
 	// Both sentinels stay unwrappable: errors.Is sees ErrNoPath and
-	// whatever sentinel the last commit attempt surfaced.
-	return nil, fmt.Errorf("%w: chips %d<->%d: %w", ErrNoPath, req.A, req.B, lastErr)
+	// whatever sentinel the last commit attempt surfaced. The message is
+	// formatted only if someone reads it — on a saturated fabric this is
+	// the common Establish outcome, too hot for fmt.Errorf.
+	return nil, &noPathError{a: req.A, b: req.B, cause: lastErr}
 }
+
+// noPathError is the establish failure after every candidate plan was
+// rejected. Error formats lazily; Unwrap exposes both ErrNoPath and
+// the last commit failure to errors.Is/As.
+type noPathError struct {
+	a, b  int
+	cause error
+}
+
+func (e *noPathError) Error() string {
+	return fmt.Sprintf("%v: chips %d<->%d: %v", ErrNoPath, e.a, e.b, e.cause)
+}
+
+func (e *noPathError) Unwrap() []error { return []error{ErrNoPath, e.cause} }
 
 // commit attempts to allocate everything a plan needs, rolling back on
 // failure.
 func (a *Allocator) commit(req Request, p plan, now unit.Seconds) (c *Circuit, err error) {
 	a.beginOp()
 	defer a.endOp("commit")
-	var segs []Segment
-	var fibers []wafer.FiberRef
+	// The path is staged in scratch; only a successful commit copies it
+	// into the circuit (setPath), so failed attempts allocate nothing.
+	segs := a.scratch.segs[:0]
+	fibers := a.scratch.fibers[:0]
+	defer func() {
+		a.scratch.segs = segs[:0]
+		a.scratch.fibers = fibers[:0]
+	}()
 	reservedA, reservedB := false, false
 	defer func() {
 		if err == nil {
@@ -504,12 +554,11 @@ func (a *Allocator) commit(req Request, p plan, now unit.Seconds) (c *Circuit, e
 		A:             req.A,
 		B:             req.B,
 		Width:         req.Width,
-		Segments:      segs,
-		Fibers:        fibers,
 		EstablishedAt: now,
 		ReadyAt:       now + phy.ReconfigLatency,
 		Link:          link,
 	}
+	c.setPath(segs, fibers)
 	a.nextID++
 	a.circuits[c.ID] = c
 	return c, nil
@@ -682,10 +731,17 @@ type SwitchExpectation struct {
 // invariant auditor compares it against the hardware's actual switch
 // state.
 func (a *Allocator) CircuitSwitches(c *Circuit) []SwitchExpectation {
-	out := []SwitchExpectation{
-		{Tile: a.rack.TileOf(c.A), Switch: 0, Port: 0},
-		{Tile: a.rack.TileOf(c.B), Switch: 0, Port: 0},
-	}
+	return a.AppendCircuitSwitches(nil, c)
+}
+
+// AppendCircuitSwitches appends c's expected switch states to dst and
+// returns the extended slice — CircuitSwitches without the per-call
+// allocation, for the audit hot path.
+func (a *Allocator) AppendCircuitSwitches(dst []SwitchExpectation, c *Circuit) []SwitchExpectation {
+	out := append(dst,
+		SwitchExpectation{Tile: a.rack.TileOf(c.A), Switch: 0, Port: 0},
+		SwitchExpectation{Tile: a.rack.TileOf(c.B), Switch: 0, Port: 0},
+	)
 	for i := 1; i < len(c.Segments); i++ {
 		prev, cur := c.Segments[i-1], c.Segments[i]
 		var row, col int

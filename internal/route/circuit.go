@@ -48,6 +48,30 @@ type Circuit struct {
 	EstablishedAt, ReadyAt unit.Seconds
 	// Link is the circuit's optical budget evaluation.
 	Link phy.LinkReport
+
+	// Inline backing storage for Segments/Fibers (see setPath). Typical
+	// paths — a handful of spans, one fiber per trunk hop — fit here,
+	// so establishing a circuit costs one allocation (the Circuit
+	// itself) rather than three.
+	segStore [8]Segment
+	fibStore [4]wafer.FiberRef
+}
+
+// setPath points Segments/Fibers at circuit-owned copies of the given
+// path: the inline stores when the path fits, fresh heap slices
+// otherwise. The inputs may live in caller scratch — nothing aliases
+// them afterward.
+func (c *Circuit) setPath(segs []Segment, fibers []wafer.FiberRef) {
+	if len(segs) <= len(c.segStore) {
+		c.Segments = c.segStore[:copy(c.segStore[:], segs)]
+	} else {
+		c.Segments = append([]Segment(nil), segs...)
+	}
+	if len(fibers) <= len(c.fibStore) {
+		c.Fibers = c.fibStore[:copy(c.fibStore[:], fibers)]
+	} else {
+		c.Fibers = append([]wafer.FiberRef(nil), fibers...)
+	}
 }
 
 // Bandwidth returns the circuit's data rate for the given

@@ -1,11 +1,5 @@
 package route
 
-import (
-	"lightpath/internal/phy"
-	"lightpath/internal/unit"
-	"lightpath/internal/wafer"
-)
-
 // Clone returns a deep copy of the allocator together with a deep copy
 // of the rack it manages (reachable via the clone's Rack method). The
 // clone behaves exactly like the original would from this point on —
@@ -46,13 +40,9 @@ func (a *Allocator) Clone() *Allocator {
 // and fiber slices so the copy shares no storage with the original.
 func (c *Circuit) Clone() *Circuit {
 	n := *c
-	n.Segments = append([]Segment(nil), c.Segments...)
-	n.Fibers = append([]wafer.FiberRef(nil), c.Fibers...)
-	if c.Link.ByKind != nil {
-		n.Link.ByKind = make(map[phy.LossKind]unit.Decibel, len(c.Link.ByKind))
-		for k, v := range c.Link.ByKind {
-			n.Link.ByKind[k] = v
-		}
-	}
+	// The struct copy above duplicated the inline stores but left the
+	// slice headers pointing at c's storage; re-point them at n's own.
+	// Link.ByKind is a value (array) — the struct copy covers it.
+	n.setPath(c.Segments, c.Fibers)
 	return &n
 }

@@ -74,6 +74,22 @@ func (a *Allocator) EncodeState(e *snapshot.Encoder) {
 		e.Int(k.trunk)
 		e.Int(k.row)
 	}
+
+	// The plan cache: hit/miss counters plus the set of chip pairs
+	// valid at the current epoch. The cached plans themselves are a
+	// pure function of geometry and the failed-row set (both encoded
+	// above), so Restore re-derives them from this pair list and the
+	// rewarmed cache is bit-identical to the serialized one — the
+	// absolute epoch value carries no behavior and is not encoded.
+	hits, misses := a.PlanCacheStats()
+	e.U64(hits)
+	e.U64(misses)
+	valid := a.planCacheValidList(nil)
+	e.Len(len(valid))
+	for _, p := range valid {
+		e.Int(p[0])
+		e.Int(p[1])
+	}
 }
 
 // RestoreState replays state captured by EncodeState into this
@@ -125,6 +141,28 @@ func (a *Allocator) RestoreState(d *snapshot.Decoder) error {
 	for i := 0; i < n; i++ {
 		a.failedRows[fiberRowKey{trunk: d.Int(), row: d.Int()}] = true
 	}
+
+	a.resetPlanCache()
+	hits, misses := d.U64(), d.U64()
+	n = d.Len()
+	chips := a.rack.NumChips()
+	pairs := make([][2]int, 0, n)
+	for i := 0; i < n; i++ {
+		p := [2]int{d.Int(), d.Int()}
+		if d.Err() == nil && (p[0] < 0 || p[0] >= chips || p[1] < 0 || p[1] >= chips) {
+			return fmt.Errorf("%w: plan-cache pair %d<->%d outside [0, %d)",
+				snapshot.ErrCorruptSnapshot, p[0], p[1], chips)
+		}
+		pairs = append(pairs, p)
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	// Re-warm after the failed-row set is in place: the re-derived
+	// plans are then exactly the ones that were cached at encode time,
+	// and the counters resume from their serialized values.
+	a.rewarmPlanCache(pairs)
+	a.plans.hits, a.plans.misses = hits, misses
 	return d.Err()
 }
 
@@ -176,6 +214,8 @@ func decodeCircuit(d *snapshot.Decoder) *Circuit {
 		B:     d.Int(),
 		Width: d.Int(),
 	}
+	var segs []Segment
+	var fibers []wafer.FiberRef
 	n := d.Len()
 	for i := 0; i < n; i++ {
 		s := Segment{Wafer: d.Int()}
@@ -187,12 +227,15 @@ func decodeCircuit(d *snapshot.Decoder) *Circuit {
 		s.Ref.Bus = d.Int()
 		s.Ref.Span.Lo = d.Int()
 		s.Ref.Span.Hi = d.Int()
-		c.Segments = append(c.Segments, s)
+		segs = append(segs, s)
 	}
 	n = d.Len()
 	for i := 0; i < n; i++ {
-		c.Fibers = append(c.Fibers, wafer.FiberRef{Trunk: d.Int(), Row: d.Int(), Fiber: d.Int()})
+		fibers = append(fibers, wafer.FiberRef{Trunk: d.Int(), Row: d.Int(), Fiber: d.Int()})
 	}
+	// Through setPath so a restored circuit is deep-equal to the live
+	// one it mirrors (inline stores included).
+	c.setPath(segs, fibers)
 	c.EstablishedAt = snapshot.DecodeUnit[unit.Seconds](d)
 	c.ReadyAt = snapshot.DecodeUnit[unit.Seconds](d)
 	c.Link = decodeLink(d)
@@ -205,15 +248,21 @@ func encodeLink(e *snapshot.Encoder, l phy.LinkReport) {
 	snapshot.Unit(e, l.MarginDB)
 	e.Bool(l.Feasible)
 	e.F64(l.BER)
-	kinds := make([]phy.LossKind, 0, len(l.ByKind))
-	for k := range l.ByKind {
-		kinds = append(kinds, k)
+	// The breakdown is written sparsely — (kind, value) pairs for the
+	// nonzero kinds, in kind order — preserving the byte format the
+	// map-based encoding produced (maps never held zero entries).
+	n := 0
+	for _, v := range l.ByKind {
+		if v != 0 {
+			n++
+		}
 	}
-	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
-	e.Len(len(kinds))
-	for _, k := range kinds {
-		e.Int(int(k))
-		snapshot.Unit(e, l.ByKind[k])
+	e.Len(n)
+	for k, v := range l.ByKind {
+		if v != 0 {
+			e.Int(k)
+			snapshot.Unit(e, v)
+		}
 	}
 }
 
@@ -226,12 +275,12 @@ func decodeLink(d *snapshot.Decoder) phy.LinkReport {
 		BER:           d.F64(),
 	}
 	n := d.Len()
-	if n > 0 {
-		l.ByKind = make(map[phy.LossKind]unit.Decibel, n)
-	}
 	for i := 0; i < n; i++ {
-		k := phy.LossKind(d.Int())
-		l.ByKind[k] = snapshot.DecodeUnit[unit.Decibel](d)
+		k := d.Int()
+		v := snapshot.DecodeUnit[unit.Decibel](d)
+		if d.Err() == nil && k >= 0 && k < phy.NumLossKinds {
+			l.ByKind[phy.LossKind(k)] = v
+		}
 	}
 	return l
 }

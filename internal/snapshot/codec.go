@@ -25,6 +25,13 @@ type Encoder struct {
 // Bytes returns the encoded payload.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
+// Reset empties the encoder while keeping its buffer capacity, so a
+// long-lived encoder (a wire handler, a checkpoint writer) stops
+// allocating once it has seen its largest payload. The slice a prior
+// Bytes returned aliases the same storage and is overwritten by
+// subsequent appends — callers must copy or consume it first.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
 // U64 appends a fixed-width uint64.
 func (e *Encoder) U64(v uint64) {
 	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)

@@ -161,8 +161,10 @@ func (r *Rack) AllocFiber(trunk, row int) (FiberRef, error) {
 			return FiberRef{Trunk: trunk, Row: row, Fiber: f}, nil
 		}
 	}
-	return FiberRef{}, fmt.Errorf("wafer: trunk %d row %d: all %d fibers occupied",
-		trunk, row, r.cfg.FibersPerEdge)
+	// A static sentinel: fiber contention is the dominant failure under
+	// load, and building a fresh descriptive error for every exhausted
+	// probe dominated the allocation profile of failed establishes.
+	return FiberRef{}, ErrFibersExhausted
 }
 
 // FreeFiber releases a previously allocated fiber. It panics on a

@@ -117,12 +117,14 @@ func (t *Tile) Reserve(width int) error {
 	if width <= 0 {
 		return fmt.Errorf("wafer: non-positive circuit width %d", width)
 	}
+	// Static sentinels on the capacity paths: endpoint contention is a
+	// steady-state outcome under load, not an anomaly worth a fresh
+	// formatted error per probe.
 	if t.FreeLasers() < width {
-		return fmt.Errorf("wafer: tile (%d,%d) has %d free lasers, need %d",
-			t.Row, t.Col, t.FreeLasers(), width)
+		return ErrLasersExhausted
 	}
 	if t.FreePorts() < 1 {
-		return fmt.Errorf("wafer: tile (%d,%d) has no free SerDes ports", t.Row, t.Col)
+		return ErrPortsExhausted
 	}
 	t.lasersUsed += width
 	t.portsUsed++

@@ -1,7 +1,22 @@
 package wafer
 
 import (
+	"errors"
 	"fmt"
+)
+
+// Capacity-exhaustion sentinels. These fire on every failed probe of a
+// contended resource — the steady state of an overloaded fabric — so
+// they are preallocated rather than formatted per call. Callers that
+// need the specific trunk/tile already know it from their arguments.
+var (
+	// ErrFibersExhausted reports a trunk row with every fiber occupied.
+	ErrFibersExhausted = errors.New("wafer: all fibers on the trunk row are occupied")
+	// ErrLasersExhausted reports a tile without enough free lasers for
+	// a requested circuit width.
+	ErrLasersExhausted = errors.New("wafer: not enough free lasers on the tile")
+	// ErrPortsExhausted reports a tile with no free SerDes port.
+	ErrPortsExhausted = errors.New("wafer: no free SerDes ports on the tile")
 )
 
 // Orient distinguishes horizontal bus waveguides (running along a tile
